@@ -1,0 +1,102 @@
+"""PQL engine micro-benchmarks (real wall-clock, multiple rounds).
+
+Not a paper table -- engineering benchmarks guarding the query engine's
+performance on graphs the size the workloads produce: name lookup,
+bounded traversal, full-closure ancestry, and aggregate scans.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pnode import ObjectRef
+from repro.core.records import Attr, ObjType, ProvenanceRecord
+from repro.pql.engine import QueryEngine
+
+FILES = 2000
+FAN_IN = 4
+
+
+def build_graph() -> QueryEngine:
+    """A layered build-like DAG: sources -> processes -> objects -> link."""
+    records = []
+
+    def R(pnode, attr, value):
+        records.append(ProvenanceRecord(ObjectRef(pnode, 0), attr, value))
+
+    # 1..FILES: source files; FILES+1..2*FILES: processes;
+    # 2*FILES+1..3*FILES: outputs; 3*FILES+1: the final link.
+    for index in range(1, FILES + 1):
+        R(index, Attr.TYPE, ObjType.FILE)
+        R(index, Attr.NAME, f"/src/file{index}.c")
+    for index in range(1, FILES + 1):
+        proc = FILES + index
+        R(proc, Attr.TYPE, ObjType.PROCESS)
+        R(proc, Attr.NAME, "cc")
+        for hop in range(FAN_IN):
+            source = (index + hop - 1) % FILES + 1
+            R(proc, Attr.INPUT, ObjectRef(source, 0))
+        out = 2 * FILES + index
+        R(out, Attr.TYPE, ObjType.FILE)
+        R(out, Attr.NAME, f"/obj/file{index}.o")
+        R(out, Attr.INPUT, ObjectRef(proc, 0))
+    final = 3 * FILES + 1
+    R(final, Attr.TYPE, ObjType.FILE)
+    R(final, Attr.NAME, "/vmlinux")
+    for index in range(1, FILES + 1):
+        R(final, Attr.INPUT, ObjectRef(2 * FILES + index, 0))
+    return QueryEngine.from_records(records)
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return build_graph()
+
+
+@pytest.mark.benchmark(group="pql-perf")
+def test_perf_graph_construction(benchmark):
+    engine = benchmark(build_graph)
+    assert len(engine.graph) == 3 * FILES + 1
+
+
+@pytest.mark.benchmark(group="pql-perf")
+def test_perf_name_equality_scan(benchmark, engine):
+    rows = benchmark(
+        engine.execute,
+        'select F from Provenance.file as F where F.name = "/vmlinux"')
+    assert len(rows) == 1
+
+
+@pytest.mark.benchmark(group="pql-perf")
+def test_perf_bounded_traversal(benchmark, engine):
+    rows = benchmark(
+        engine.execute,
+        'select A from Provenance.file as F F.input{1,2} as A '
+        'where F.name = "/obj/file1.o"')
+    assert len(rows) == 1 + FAN_IN
+
+
+@pytest.mark.benchmark(group="pql-perf")
+def test_perf_full_ancestry_closure(benchmark, engine):
+    rows = benchmark(
+        engine.execute,
+        'select A from Provenance.file as F F.input* as A '
+        'where F.name = "/vmlinux"')
+    assert len(rows) == 3 * FILES + 1
+
+
+@pytest.mark.benchmark(group="pql-perf")
+def test_perf_aggregate_count(benchmark, engine):
+    rows = benchmark(
+        engine.execute,
+        "select count(P) from Provenance.process as P")
+    assert rows == [FILES]
+
+
+@pytest.mark.benchmark(group="pql-perf")
+def test_perf_like_scan(benchmark, engine):
+    rows = benchmark(
+        engine.execute,
+        'select F from Provenance.file as F '
+        'where F.name like "/obj/file1%.o" limit 50')
+    assert rows

@@ -1,0 +1,9 @@
+"""Legacy setup shim: enables `pip install -e .` without the wheel package."""
+
+from setuptools import setup
+
+setup(
+    entry_points={
+        "console_scripts": ["passv2 = repro.cli:main"],
+    },
+)

@@ -1,0 +1,41 @@
+"""PASSv2 reproduction: layered provenance collection, storage, and query.
+
+This package reproduces the system described in "Layering in Provenance
+Systems" (Muniswamy-Reddy et al., USENIX ATC 2009).  It contains:
+
+* ``repro.core`` -- the PASSv2 provenance pipeline (DPAPI, observer,
+  analyzer, distributor) and the provenance record model.
+* ``repro.kernel`` -- a deterministic simulated operating system (virtual
+  clock, disk cost model, VFS, processes, system calls) standing in for the
+  paper's modified Linux kernel.
+* ``repro.storage`` -- Lasagna (the provenance-aware file system with a
+  write-ahead-provenance log), Waldo (the log-draining daemon), and the
+  indexed provenance database.
+* ``repro.pql`` -- the Path Query Language: lexer, parser, and evaluator
+  over an OEM-style object graph.
+* ``repro.nfs`` -- provenance-aware NFS (client, server, transactions).
+* ``repro.apps`` -- provenance-aware applications: a Kepler-style workflow
+  engine, a links-style web browser, and the PA-Python runtime wrapper.
+* ``repro.workloads`` -- the five evaluation workloads from the paper.
+* ``repro.system`` -- one-call assembly of a provenance-aware machine.
+
+Quickstart::
+
+    from repro.system import System
+
+    sys_ = System.boot()
+    with sys_.process() as proc:
+        fd = proc.open("/pass/hello.txt", "w")
+        proc.write(fd, b"hello world\\n")
+        proc.close(fd)
+    sys_.sync()
+    print(sys_.query("select F.name from Provenance.file as F"))
+"""
+
+from repro.core.pnode import ObjectRef
+from repro.core.records import Attr, ProvenanceRecord
+from repro.system import System
+
+__version__ = "2.0.0"
+
+__all__ = ["Attr", "ObjectRef", "ProvenanceRecord", "System", "__version__"]

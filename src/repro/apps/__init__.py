@@ -1,0 +1,10 @@
+"""Provenance-aware applications (paper section 6).
+
+* :mod:`repro.apps.kepler`   -- a Kepler-style workflow engine with a
+  provenance recording interface whose third backend discloses to
+  PASSv2 through the DPAPI (section 6.2);
+* :mod:`repro.apps.links`    -- a links-style text web browser tracking
+  sessions, visited URLs, and downloads (section 6.3);
+* :mod:`repro.apps.papython` -- the runtime Python provenance wrapper
+  (section 6.4).
+"""

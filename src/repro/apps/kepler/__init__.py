@@ -1,0 +1,37 @@
+"""PA-Kepler: a provenance-aware workflow engine (paper section 6.2).
+
+A dataflow engine in the style of the Kepler scientific workflow system:
+*actors* (operators) with typed ports, connected by channels, fired by a
+*director* in dataflow order.  Kepler records provenance for all
+communication between operators; like the real system this engine offers
+three recording backends -- a text file, a (relational-style) table, and
+the one this paper adds: disclosure into PASSv2 via the DPAPI.
+
+The PASS backend creates a ``pass_mkobj`` object per operator, sets
+NAME / TYPE=OPERATOR / PARAMS attributes, records an ancestry edge per
+token transfer, and links data source/sink actors to the files they
+touch -- connecting Kepler's provenance to the file-level provenance
+beneath it (the paper's Figure 1 integration).
+"""
+
+from repro.apps.kepler.actors import Actor, FileSink, FileSource, Transformer
+from repro.apps.kepler.director import Director, run_workflow
+from repro.apps.kepler.recording import (
+    DatabaseRecorder,
+    PassRecorder,
+    TextRecorder,
+)
+from repro.apps.kepler.workflow import Workflow
+
+__all__ = [
+    "Actor",
+    "DatabaseRecorder",
+    "Director",
+    "FileSink",
+    "FileSource",
+    "PassRecorder",
+    "TextRecorder",
+    "Transformer",
+    "Workflow",
+    "run_workflow",
+]

@@ -1,0 +1,237 @@
+"""Workflow actors (operators) and their firing context.
+
+An actor declares input and output ports and implements :meth:`Actor.fire`.
+The firing context gives it its consumed tokens, an ``emit`` callback,
+its parameters, and the simulated system-call interface for file I/O --
+source and sink actors read and write real files on the simulated
+machine, which is what lets the PASS recording backend link workflow
+provenance to file-system provenance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.core.errors import WorkflowError
+
+
+@dataclass
+class Token:
+    """One unit of data flowing along a channel."""
+
+    value: object
+    producer: Optional[str] = None       # actor name, for tracing
+
+
+@dataclass
+class FiringContext:
+    """Everything an actor sees while firing.
+
+    When the PASS recording backend is active, ``dpapi`` and
+    ``operator_ref`` are set: file reads use ``pass_read`` (capturing the
+    exact version read) and file writes disclose a file -> operator
+    ancestry record *with* the data (one pass_write), which is how
+    workflow provenance stays connected to file provenance.
+    """
+
+    inputs: dict[str, Token]
+    params: dict[str, object]
+    sc: object                            # Syscalls facade
+    dpapi: object = None                  # LibPass when PASS-recording
+    operator_ref: object = None           # the firing operator's ref
+    _emitted: list[tuple[str, object]] = field(default_factory=list)
+    #: (path, ObjectRef-or-None) per file touched.
+    files_read: list[tuple] = field(default_factory=list)
+    files_written: list[tuple] = field(default_factory=list)
+
+    def emit(self, port: str, value: object) -> None:
+        """Produce one token on an output port."""
+        self._emitted.append((port, value))
+
+    def read_file(self, path: str) -> bytes:
+        """Read a whole file, noting its exact identity for linking."""
+        fd = self.sc.open(path, "r")
+        if self.dpapi is not None:
+            data, ref = self.dpapi.pass_read(fd)
+        else:
+            data, ref = self.sc.read(fd), None
+        self.sc.close(fd)
+        self.files_read.append((path, ref))
+        return data
+
+    def write_file(self, path: str, data: bytes) -> None:
+        """Write a whole file, disclosing the operator link if enabled."""
+        fd = self.sc.open(path, "w")
+        if self.dpapi is not None and self.operator_ref is not None:
+            record = self.dpapi.record(fd, "INPUT", self.operator_ref)
+            self.dpapi.pass_write(fd, data, [record])
+            ref = self.dpapi.ref_of(fd)
+        else:
+            self.sc.write(fd, data)
+            ref = None
+        self.sc.close(fd)
+        self.files_written.append((path, ref))
+
+
+class Actor:
+    """Base workflow operator."""
+
+    #: Port declarations; subclasses override.
+    input_ports: tuple[str, ...] = ()
+    output_ports: tuple[str, ...] = ()
+
+    def __init__(self, name: str, **params):
+        self.name = name
+        self.params = dict(params)
+
+    @property
+    def kind(self) -> str:
+        """Operator type name shown in provenance (class name)."""
+        return type(self).__name__
+
+    def ready(self, available: dict[str, int]) -> bool:
+        """Can this actor fire, given tokens available per input port?
+
+        Default: one token on every input port (SDF semantics).  Source
+        actors (no inputs) are handled by the director's iteration count.
+        """
+        return all(available.get(port, 0) >= 1 for port in self.input_ports)
+
+    def fire(self, ctx: FiringContext) -> None:
+        """Consume inputs, do work, emit outputs.  Subclasses implement."""
+        raise NotImplementedError
+
+    def cpu_seconds(self) -> float:
+        """Simulated CPU cost of one firing (override for heavy actors)."""
+        return float(self.params.get("cpu_seconds", 0.0002))
+
+    def __repr__(self) -> str:
+        return f"<{self.kind} {self.name!r}>"
+
+
+class FileSource(Actor):
+    """Reads one file and emits its content (a Kepler data source).
+
+    Params: ``path`` -- the file to read.
+    """
+
+    output_ports = ("out",)
+
+    def fire(self, ctx: FiringContext) -> None:
+        path = ctx.params.get("path")
+        if not path:
+            raise WorkflowError(f"{self.name}: FileSource needs a 'path'")
+        ctx.emit("out", ctx.read_file(path))
+
+
+class FileSink(Actor):
+    """Writes its input token to a file (a Kepler data sink).
+
+    Params: ``path`` (``fileName`` accepted as the Kepler-ish alias),
+    ``confirmOverwrite`` (ignored, present for fidelity).
+    """
+
+    input_ports = ("in",)
+
+    def fire(self, ctx: FiringContext) -> None:
+        path = ctx.params.get("path") or ctx.params.get("fileName")
+        if not path:
+            raise WorkflowError(f"{self.name}: FileSink needs a 'path'")
+        value = ctx.inputs["in"].value
+        data = value if isinstance(value, bytes) else str(value).encode()
+        ctx.write_file(path, data)
+
+
+class Transformer(Actor):
+    """Applies a function to its single input.
+
+    Params: ``fn`` -- callable(bytes-or-object) -> object.
+    """
+
+    input_ports = ("in",)
+    output_ports = ("out",)
+
+    def fire(self, ctx: FiringContext) -> None:
+        fn: Callable = ctx.params.get("fn")
+        if fn is None:
+            raise WorkflowError(f"{self.name}: Transformer needs 'fn'")
+        ctx.emit("out", fn(ctx.inputs["in"].value))
+
+
+class Combiner(Actor):
+    """N-ary combine: gathers ``arity`` inputs into one output.
+
+    Params: ``arity`` (default 2), ``fn`` -- callable(list) -> object
+    (default: concatenate bytes).
+    """
+
+    output_ports = ("out",)
+
+    def __init__(self, name: str, arity: int = 2, **params):
+        super().__init__(name, arity=arity, **params)
+        self.input_ports = tuple(f"in{i}" for i in range(arity))
+
+    def fire(self, ctx: FiringContext) -> None:
+        values = [ctx.inputs[port].value for port in self.input_ports]
+        fn = ctx.params.get("fn")
+        if fn is None:
+            fn = lambda vs: b"".join(
+                v if isinstance(v, bytes) else str(v).encode() for v in vs)
+        ctx.emit("out", fn(values))
+
+
+class LineParser(Actor):
+    """Splits tabular bytes into a list of rows (the PA-Kepler workload's
+    'parse tabular data' stage).
+
+    Params: ``delimiter`` (default tab).
+    """
+
+    input_ports = ("in",)
+    output_ports = ("out",)
+
+    def fire(self, ctx: FiringContext) -> None:
+        delimiter = ctx.params.get("delimiter", "\t")
+        text = ctx.inputs["in"].value
+        if isinstance(text, bytes):
+            text = text.decode("utf-8", "replace")
+        rows = [line.split(delimiter)
+                for line in text.splitlines() if line.strip()]
+        ctx.emit("out", rows)
+
+
+class ColumnExtractor(Actor):
+    """Extracts one column from parsed rows.
+
+    Params: ``column`` -- index to extract.
+    """
+
+    input_ports = ("in",)
+    output_ports = ("out",)
+
+    def fire(self, ctx: FiringContext) -> None:
+        column = int(ctx.params.get("column", 0))
+        rows = ctx.inputs["in"].value
+        ctx.emit("out", [row[column] for row in rows if len(row) > column])
+
+
+class ExpressionEvaluator(Actor):
+    """Reformats values with a user-specified expression (the PA-Kepler
+    workload's final stage).
+
+    Params: ``expression`` -- callable(value) -> str, or a printf-style
+    format string applied per item.
+    """
+
+    input_ports = ("in",)
+    output_ports = ("out",)
+
+    def fire(self, ctx: FiringContext) -> None:
+        expression = ctx.params.get("expression", "%s")
+        values = ctx.inputs["in"].value
+        if callable(expression):
+            out = [str(expression(value)) for value in values]
+        else:
+            out = [expression % (value,) for value in values]
+        ctx.emit("out", "\n".join(out).encode())

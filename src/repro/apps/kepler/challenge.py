@@ -1,0 +1,166 @@
+"""The First Provenance Challenge workflow (paper sections 3.1, 5.7).
+
+The fMRI atlas workflow the provenance community used as its common
+benchmark, and the one the paper runs on PA-NFS in its Figure 1
+scenario: four anatomy images are aligned against a reference
+(``align_warp``), resliced, averaged into an atlas (``softmean``),
+sliced along three axes (``slicer``) and converted to graphics
+(``convert``) -- producing ``atlas-x.gif``, ``atlas-y.gif``,
+``atlas-z.gif``.
+
+The image "processing" here is deterministic byte kneading (hash
+chaining), so any change to any input changes every downstream output --
+exactly the property the anomaly-detection use case needs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.apps.kepler.actors import Actor, FiringContext
+from repro.apps.kepler.workflow import Workflow
+
+AXES = ("x", "y", "z")
+SUBJECTS = (1, 2, 3, 4)
+
+
+def _knead(tag: bytes, *blobs: bytes) -> bytes:
+    """Deterministic content-dependent transformation."""
+    digest = hashlib.md5(tag)
+    for blob in blobs:
+        digest.update(blob)
+    head = digest.digest()
+    body = bytes((b ^ head[i % 16]) for i, b in enumerate(blobs[0][:256]))
+    return head + body
+
+
+def generate_inputs(system, directory: str, seed: int = 7,
+                    image_bytes: int = 2048) -> list[str]:
+    """Create the challenge's input files; returns their paths."""
+    import random
+    rng = random.Random(seed)
+    paths = []
+    with system.process(argv=["mkinputs"]) as proc:
+        if not proc.exists(directory):
+            proc.mkdir(directory)
+        names = [f"anatomy{i}.img" for i in SUBJECTS]
+        names += [f"anatomy{i}.hdr" for i in SUBJECTS]
+        names += ["reference.img", "reference.hdr"]
+        for name in names:
+            path = f"{directory}/{name}"
+            fd = proc.open(path, "w")
+            proc.write(fd, bytes(rng.randrange(256)
+                                 for _ in range(image_bytes)))
+            proc.close(fd)
+            paths.append(path)
+    return paths
+
+
+class AlignWarp(Actor):
+    """align_warp: register one anatomy image against the reference."""
+
+    output_ports = ("out",)
+
+    def fire(self, ctx: FiringContext) -> None:
+        image = ctx.read_file(ctx.params["image"])
+        header = ctx.read_file(ctx.params["header"])
+        ref = ctx.read_file(ctx.params["reference"])
+        ref_hdr = ctx.read_file(ctx.params["reference_header"])
+        warp = _knead(b"align_warp", image, header, ref, ref_hdr)
+        ctx.write_file(ctx.params["output"], warp)
+        ctx.emit("out", ctx.params["output"])
+
+
+class Reslice(Actor):
+    """reslice: resample one warped image."""
+
+    input_ports = ("in",)
+    output_ports = ("out",)
+
+    def fire(self, ctx: FiringContext) -> None:
+        warp_path = ctx.inputs["in"].value
+        warp = ctx.read_file(warp_path)
+        resliced = _knead(b"reslice", warp)
+        ctx.write_file(ctx.params["output"], resliced)
+        ctx.emit("out", ctx.params["output"])
+
+
+class Softmean(Actor):
+    """softmean: average the four resliced images into the atlas."""
+
+    input_ports = ("in0", "in1", "in2", "in3")
+    output_ports = ("out",)
+
+    def fire(self, ctx: FiringContext) -> None:
+        blobs = [ctx.read_file(ctx.inputs[port].value)
+                 for port in self.input_ports]
+        atlas = _knead(b"softmean", *blobs)
+        ctx.write_file(ctx.params["output"], atlas)
+        ctx.emit("out", ctx.params["output"])
+
+
+class Slicer(Actor):
+    """slicer: one axis-aligned slice of the atlas."""
+
+    input_ports = ("in",)
+    output_ports = ("out",)
+
+    def fire(self, ctx: FiringContext) -> None:
+        atlas = ctx.read_file(ctx.inputs["in"].value)
+        axis = str(ctx.params["axis"]).encode()
+        pgm = _knead(b"slicer-" + axis, atlas)
+        ctx.write_file(ctx.params["output"], pgm)
+        ctx.emit("out", ctx.params["output"])
+
+
+class Convert(Actor):
+    """convert: graphics conversion of one slice."""
+
+    input_ports = ("in",)
+    output_ports = ("out",)
+
+    def fire(self, ctx: FiringContext) -> None:
+        pgm = ctx.read_file(ctx.inputs["in"].value)
+        gif = b"GIF89a" + _knead(b"convert", pgm)
+        ctx.write_file(ctx.params["output"], gif)
+        ctx.emit("out", ctx.params["output"])
+
+
+def build_challenge(input_dir: str, work_dir: str,
+                    output_dir: str) -> Workflow:
+    """Assemble the full challenge workflow over the given directories."""
+    wf = Workflow("provenance-challenge-1")
+    for i in SUBJECTS:
+        wf.add(AlignWarp(
+            f"align_warp{i}",
+            image=f"{input_dir}/anatomy{i}.img",
+            header=f"{input_dir}/anatomy{i}.hdr",
+            reference=f"{input_dir}/reference.img",
+            reference_header=f"{input_dir}/reference.hdr",
+            output=f"{work_dir}/warp{i}.warp",
+        ))
+        wf.add(Reslice(f"reslice{i}", output=f"{work_dir}/resliced{i}.img"))
+        wf.connect(f"align_warp{i}", "out", f"reslice{i}", "in")
+    wf.add(Softmean("softmean", output=f"{work_dir}/atlas.img"))
+    for index, i in enumerate(SUBJECTS):
+        wf.connect(f"reslice{i}", "out", "softmean", f"in{index}")
+    for axis in AXES:
+        wf.add(Slicer(f"slicer_{axis}", axis=axis,
+                      output=f"{work_dir}/atlas-{axis}.pgm"))
+        wf.connect("softmean", "out", f"slicer_{axis}", "in")
+        wf.add(Convert(f"convert_{axis}",
+                       output=f"{output_dir}/atlas-{axis}.gif"))
+        wf.connect(f"slicer_{axis}", "out", f"convert_{axis}", "in")
+    return wf
+
+
+def ensure_dirs(system, *paths: str) -> None:
+    """mkdir -p for workflow directories."""
+    with system.process(argv=["mkdirs"]) as proc:
+        for path in paths:
+            parts = path.strip("/").split("/")
+            prefix = ""
+            for part in parts:
+                prefix += "/" + part
+                if not proc.exists(prefix):
+                    proc.mkdir(prefix)

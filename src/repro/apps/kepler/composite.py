@@ -1,0 +1,100 @@
+"""Composite actors: a workflow as an operator inside another workflow.
+
+Kepler models hierarchy with composite actors — an operator whose
+behavior is itself a workflow.  Firing a composite runs its inner
+workflow with the composite's input tokens injected at named inner
+sources and its outputs collected from named inner sinks.
+
+Provenance composes naturally: the inner workflow's operators are
+recorded like any others (the recorder is shared), and the composite
+itself appears as one more operator whose inputs/outputs bracket the
+inner run — so queries can reason at either granularity, which is the
+paper's layering idea applied *within* the workflow layer.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.apps.kepler.actors import Actor, FiringContext, Token
+from repro.apps.kepler.workflow import Workflow
+from repro.core.errors import WorkflowError
+
+
+class Injector(Actor):
+    """Inner-workflow source whose token the composite supplies."""
+
+    output_ports = ("out",)
+
+    def __init__(self, name: str):
+        super().__init__(name)
+        self.pending: Optional[object] = None
+
+    def fire(self, ctx: FiringContext) -> None:
+        if self.pending is None:
+            raise WorkflowError(f"{self.name}: no token injected")
+        ctx.emit("out", self.pending)
+        self.pending = None
+
+
+class Collector(Actor):
+    """Inner-workflow sink whose token the composite re-emits."""
+
+    input_ports = ("in",)
+
+    def __init__(self, name: str):
+        super().__init__(name)
+        self.collected: Optional[object] = None
+
+    def fire(self, ctx: FiringContext) -> None:
+        self.collected = ctx.inputs["in"].value
+
+
+class CompositeActor(Actor):
+    """One operator backed by an inner workflow.
+
+    ``inputs`` maps the composite's input-port names to Injector actor
+    names inside the inner workflow; ``outputs`` maps output-port names
+    to Collector actor names.
+    """
+
+    def __init__(self, name: str, inner: Workflow,
+                 inputs: Optional[dict[str, str]] = None,
+                 outputs: Optional[dict[str, str]] = None, **params):
+        super().__init__(name, **params)
+        self.inner = inner
+        self._input_map = dict(inputs or {})
+        self._output_map = dict(outputs or {})
+        self.input_ports = tuple(self._input_map)
+        self.output_ports = tuple(self._output_map)
+        for port, actor_name in self._input_map.items():
+            if not isinstance(inner.actor(actor_name), Injector):
+                raise WorkflowError(
+                    f"{name}: input {port!r} must map to an Injector")
+        for port, actor_name in self._output_map.items():
+            if not isinstance(inner.actor(actor_name), Collector):
+                raise WorkflowError(
+                    f"{name}: output {port!r} must map to a Collector")
+        #: Set by the director before firing (shared recorder).
+        self.recorder = None
+
+    @property
+    def kind(self) -> str:
+        return f"Composite({self.inner.name})"
+
+    def fire(self, ctx: FiringContext) -> None:
+        from repro.apps.kepler.director import Director
+
+        for port, actor_name in self._input_map.items():
+            injector = self.inner.actor(actor_name)
+            injector.pending = ctx.inputs[port].value
+        inner_director = Director(self.inner, self.recorder)
+        inner_director.run(ctx.sc, iterations=1)
+        for port, actor_name in self._output_map.items():
+            collector = self.inner.actor(actor_name)
+            if collector.collected is None:
+                raise WorkflowError(
+                    f"{self.name}: inner sink {actor_name!r} produced "
+                    f"nothing")
+            ctx.emit(port, collector.collected)
+            collector.collected = None

@@ -1,0 +1,127 @@
+"""Workflow graphs: actors, channels, validation."""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+
+from repro.apps.kepler.actors import Actor
+from repro.core.errors import WorkflowError
+
+
+class Workflow:
+    """A named dataflow graph of actors connected port-to-port."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._actors: dict[str, Actor] = {}
+        #: (src actor, src port) -> list of (dst actor, dst port)
+        self._wires: dict[tuple[str, str], list[tuple[str, str]]] = (
+            defaultdict(list))
+
+    # -- construction -----------------------------------------------------------
+
+    def add(self, actor: Actor) -> Actor:
+        """Add an actor; names must be unique within the workflow."""
+        if actor.name in self._actors:
+            raise WorkflowError(f"duplicate actor name: {actor.name!r}")
+        self._actors[actor.name] = actor
+        return actor
+
+    def connect(self, src: str, src_port: str, dst: str,
+                dst_port: str) -> None:
+        """Wire an output port to an input port."""
+        src_actor = self.actor(src)
+        dst_actor = self.actor(dst)
+        if src_port not in src_actor.output_ports:
+            raise WorkflowError(
+                f"{src}: no output port {src_port!r} "
+                f"(has {src_actor.output_ports})")
+        if dst_port not in dst_actor.input_ports:
+            raise WorkflowError(
+                f"{dst}: no input port {dst_port!r} "
+                f"(has {dst_actor.input_ports})")
+        self._wires[(src, src_port)].append((dst, dst_port))
+
+    # -- lookups -------------------------------------------------------------------
+
+    def actor(self, name: str) -> Actor:
+        try:
+            return self._actors[name]
+        except KeyError:
+            raise WorkflowError(f"no actor named {name!r}") from None
+
+    def actors(self) -> list[Actor]:
+        return list(self._actors.values())
+
+    def receivers(self, src: str, src_port: str) -> list[tuple[str, str]]:
+        """Who is wired to one output port."""
+        return list(self._wires.get((src, src_port), ()))
+
+    def upstream_of(self, name: str) -> set[str]:
+        """Actor names feeding any input port of ``name``."""
+        return {src for (src, _), dsts in self._wires.items()
+                for (dst, _) in dsts if dst == name}
+
+    def sources(self) -> list[Actor]:
+        """Actors with no input ports."""
+        return [actor for actor in self.actors() if not actor.input_ports]
+
+    # -- validation -----------------------------------------------------------------
+
+    def validate(self) -> None:
+        """Reject unwired inputs and channel cycles."""
+        wired_inputs: set[tuple[str, str]] = set()
+        for dsts in self._wires.values():
+            wired_inputs.update(dsts)
+        for actor in self.actors():
+            for port in actor.input_ports:
+                if (actor.name, port) not in wired_inputs:
+                    raise WorkflowError(
+                        f"{actor.name}: input port {port!r} is not wired")
+        self._check_acyclic()
+
+    def _check_acyclic(self) -> None:
+        indegree = {name: 0 for name in self._actors}
+        edges: dict[str, set[str]] = defaultdict(set)
+        for (src, _), dsts in self._wires.items():
+            for dst, _ in dsts:
+                if dst not in edges[src]:
+                    edges[src].add(dst)
+                    indegree[dst] += 1
+        queue = deque(name for name, deg in indegree.items() if deg == 0)
+        visited = 0
+        while queue:
+            node = queue.popleft()
+            visited += 1
+            for nxt in edges[node]:
+                indegree[nxt] -= 1
+                if indegree[nxt] == 0:
+                    queue.append(nxt)
+        if visited != len(self._actors):
+            raise WorkflowError(f"workflow {self.name!r} has a cycle")
+
+    def topological_order(self) -> list[Actor]:
+        """Actors in an order where producers precede consumers."""
+        self._check_acyclic()
+        indegree = {name: 0 for name in self._actors}
+        edges: dict[str, set[str]] = defaultdict(set)
+        for (src, _), dsts in self._wires.items():
+            for dst, _ in dsts:
+                if dst not in edges[src]:
+                    edges[src].add(dst)
+                    indegree[dst] += 1
+        queue = deque(sorted(name for name, deg in indegree.items()
+                             if deg == 0))
+        order: list[Actor] = []
+        while queue:
+            name = queue.popleft()
+            order.append(self._actors[name])
+            for nxt in sorted(edges[name]):
+                indegree[nxt] -= 1
+                if indegree[nxt] == 0:
+                    queue.append(nxt)
+        return order
+
+    def __repr__(self) -> str:
+        return (f"<Workflow {self.name!r}: {len(self._actors)} actors, "
+                f"{sum(len(d) for d in self._wires.values())} channels>")

@@ -1,0 +1,20 @@
+"""PA-links: a provenance-aware text web browser (paper section 6.3).
+
+A browser in the style of links 0.98 over a simulated Web
+(:mod:`repro.apps.links.web`).  Provenance is grouped by *session* --
+"it represents a logical task performed by a user": each session is a
+``pass_mkobj`` object, page visits add VISITED_URL records, and every
+download generates three records: INPUT (file <- session), FILE_URL
+(where the bytes came from), and CURRENT_URL (the page being viewed
+when the download started).  The file write itself is a ``pass_write``
+carrying data and records together.
+
+Session revival (the feature Firefox motivated, section 6.5): a session
+saved to disk can be restored in a later browser run via
+``pass_reviveobj`` and keeps accumulating provenance.
+"""
+
+from repro.apps.links.browser import Browser
+from repro.apps.links.web import Page, Web
+
+__all__ = ["Browser", "Page", "Web"]

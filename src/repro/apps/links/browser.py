@@ -1,0 +1,217 @@
+"""The provenance-aware browser.
+
+A browser instance runs inside one simulated process (pass its Syscalls
+facade in).  Sessions are the unit of provenance grouping:
+
+* ``new_session()``    -- pass_mkobj + a TYPE=SESSION record;
+* ``visit(url)``       -- follows redirects; one VISITED_URL record per
+  URL traversed, in order (the "sequence of web pages a user visited");
+* ``download(url, path)`` -- replaces the browser's plain write with a
+  ``pass_write`` carrying the data plus three records: INPUT
+  (file <- session), FILE_URL (the file's own URL), CURRENT_URL (the
+  page being viewed when the download started);
+* ``save_session(path)`` / ``restore_session(path)`` -- persists the
+  session's (pnode, version) and revives it with ``pass_reviveobj``,
+  the Firefox-inspired DPAPI extension (section 6.5).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+from repro.apps.links.web import Page, Web
+from repro.core.errors import BrowserError
+from repro.core.records import Attr, ObjType
+
+
+class Session:
+    """One logical browsing task."""
+
+    def __init__(self, fd: int, session_id: int):
+        self.fd = fd                      # pass_mkobj descriptor
+        self.session_id = session_id
+        self.history: list[str] = []      # URLs visited, in order
+        self.current_url: Optional[str] = None
+        self.downloads: list[tuple[str, str]] = []   # (url, path)
+
+
+class Browser:
+    """links-with-provenance, bound to one process and one Web."""
+
+    def __init__(self, sc, web: Web, cache_dir: Optional[str] = None):
+        self.sc = sc
+        self.web = web
+        self._provenance_on = self._detect_dpapi()
+        self._sessions: list[Session] = []
+        self._next_session = 1
+        #: "Any browser can record the URL and name of a downloaded file
+        #: and, when the site is revisited, can verify if the file has
+        #: changed.  In fact, this is how most browser caches function."
+        self._cache_dir = cache_dir
+        self._cache_index: dict[str, tuple[str, bytes]] = {}
+        self.cache_hits = 0
+        self.cache_validations = 0
+        if cache_dir is not None and not sc.exists(cache_dir):
+            sc.mkdir(cache_dir)
+
+    def _detect_dpapi(self) -> bool:
+        from repro.core.errors import ProvenanceError
+        try:
+            self.sc.dpapi._observer()
+            return True
+        except ProvenanceError:
+            return False
+
+    @property
+    def dpapi(self):
+        return self.sc.dpapi
+
+    # -- sessions ------------------------------------------------------------------
+
+    def new_session(self) -> Session:
+        """Open a session; creates its provenance object."""
+        fd = -1
+        if self._provenance_on:
+            fd = self.dpapi.pass_mkobj()
+            self.dpapi.pass_write(fd, records=[
+                self.dpapi.record(fd, Attr.TYPE, ObjType.SESSION),
+                self.dpapi.record(fd, Attr.NAME,
+                                  f"session-{self._next_session}"),
+            ])
+        session = Session(fd, self._next_session)
+        self._next_session += 1
+        self._sessions.append(session)
+        return session
+
+    def save_session(self, session: Session, path: str) -> None:
+        """Persist the session so a later browser run can restore it."""
+        state = {
+            "history": session.history,
+            "current_url": session.current_url,
+            "downloads": session.downloads,
+        }
+        if self._provenance_on:
+            ref = self.dpapi.ref_of(session.fd)
+            state["pnode"] = ref.pnode
+            state["version"] = ref.version
+            # The session object must survive even with no descendants.
+            self.dpapi.pass_sync(session.fd)
+        fd = self.sc.open(path, "w")
+        self.sc.write(fd, json.dumps(state).encode())
+        self.sc.close(fd)
+
+    def restore_session(self, path: str) -> Session:
+        """Revive a saved session (pass_reviveobj) and keep recording."""
+        fd = self.sc.open(path, "r")
+        state = json.loads(self.sc.read(fd).decode())
+        self.sc.close(fd)
+        obj_fd = -1
+        if self._provenance_on:
+            if "pnode" not in state:
+                raise BrowserError(f"{path}: no provenance in saved session")
+            obj_fd = self.dpapi.pass_reviveobj(state["pnode"],
+                                               state["version"])
+        session = Session(obj_fd, self._next_session)
+        self._next_session += 1
+        session.history = list(state.get("history", ()))
+        session.current_url = state.get("current_url")
+        session.downloads = [tuple(item) for item in
+                             state.get("downloads", ())]
+        self._sessions.append(session)
+        return session
+
+    # -- browsing -----------------------------------------------------------------------
+
+    def visit(self, session: Session, url: str) -> Page:
+        """Navigate, following redirects; records every URL traversed."""
+        page, chain = self.web.fetch(url)
+        self.sc.compute(0.0001 * len(chain))
+        for hop in chain:
+            session.history.append(hop)
+            self._record_visit(session, hop)
+        session.current_url = chain[-1]
+        self._cache_page(session, page)
+        return page
+
+    # -- the cache -------------------------------------------------------------------
+
+    def _cache_page(self, session: Session, page: Page) -> None:
+        """Revalidate-or-store: on revisit, verify the cached copy."""
+        if self._cache_dir is None:
+            return
+        import hashlib
+        digest = hashlib.md5(page.content).digest()
+        cached = self._cache_index.get(page.url)
+        if cached is not None:
+            self.cache_validations += 1
+            if cached[1] == digest:
+                self.cache_hits += 1           # unchanged: serve cached
+                return
+        path = (f"{self._cache_dir}/"
+                f"{hashlib.md5(page.url.encode()).hexdigest()}")
+        fd = self.sc.open(path, "w")
+        if self._provenance_on:
+            self.dpapi.pass_write(fd, page.content, [
+                self.dpapi.record(fd, Attr.FILE_URL, page.url),
+                self.dpapi.record(fd, Attr.INPUT,
+                                  self.dpapi.ref_of(session.fd)),
+            ])
+        else:
+            self.sc.write(fd, page.content)
+        self.sc.close(fd)
+        self._cache_index[page.url] = (path, digest)
+
+    def cached_copy(self, url: str) -> Optional[bytes]:
+        """The cached content for a URL, if any (even after take-down)."""
+        cached = self._cache_index.get(url)
+        if cached is None:
+            return None
+        fd = self.sc.open(cached[0], "r")
+        data = self.sc.read(fd)
+        self.sc.close(fd)
+        return data
+
+    def follow_link(self, session: Session, index: int) -> Page:
+        """Click the Nth link on the current page."""
+        if session.current_url is None:
+            raise BrowserError("no page is being viewed")
+        page, _ = self.web.fetch(session.current_url)
+        try:
+            target = page.links[index]
+        except IndexError:
+            raise BrowserError(
+                f"{session.current_url} has no link #{index}") from None
+        return self.visit(session, target)
+
+    def download(self, session: Session, url: str, path: str) -> bytes:
+        """Fetch a URL and save it, disclosing the three records."""
+        if session.current_url is None:
+            # Downloading a URL directly still counts as a visit.
+            self.visit(session, url)
+        page, chain = self.web.fetch(url)
+        for hop in chain:
+            self._record_visit(session, hop)
+        data = page.content
+        fd = self.sc.open(path, "w")
+        if self._provenance_on:
+            records = [
+                self.dpapi.record(fd, Attr.INPUT,
+                                  self.dpapi.ref_of(session.fd)),
+                self.dpapi.record(fd, Attr.FILE_URL, chain[-1]),
+            ]
+            if session.current_url is not None:
+                records.append(self.dpapi.record(
+                    fd, Attr.CURRENT_URL, session.current_url))
+            self.dpapi.pass_write(fd, data, records)
+        else:
+            self.sc.write(fd, data)
+        self.sc.close(fd)
+        session.downloads.append((chain[-1], path))
+        return data
+
+    def _record_visit(self, session: Session, url: str) -> None:
+        if not self._provenance_on:
+            return
+        record = self.dpapi.record(session.fd, Attr.VISITED_URL, url)
+        self.dpapi.pass_write(session.fd, records=[record])

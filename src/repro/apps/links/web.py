@@ -1,0 +1,82 @@
+"""A small simulated Web: sites, pages, links, redirects.
+
+Stages the browser use cases: attribution (downloads whose source pages
+later vanish) and malware tracking (a hacked site serving a trojaned
+codec, reached via a redirect from a trusted site).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.errors import BrowserError
+
+
+@dataclass
+class Page:
+    """One addressable resource."""
+
+    url: str
+    content: bytes = b""
+    links: list[str] = field(default_factory=list)
+    redirect: Optional[str] = None
+    content_type: str = "text/html"
+
+
+class Web:
+    """URL -> Page, with helpers to build sites and mutate them."""
+
+    MAX_REDIRECTS = 8
+
+    def __init__(self) -> None:
+        self._pages: dict[str, Page] = {}
+        self.requests = 0
+
+    def publish(self, url: str, content: bytes = b"",
+                links: Optional[list[str]] = None,
+                redirect: Optional[str] = None,
+                content_type: str = "text/html") -> Page:
+        """Create or replace one page."""
+        page = Page(url, content, list(links or ()), redirect, content_type)
+        self._pages[url] = page
+        return page
+
+    def take_down(self, url: str) -> None:
+        """Remove a page (the attribution use case: source vanishes)."""
+        self._pages.pop(url, None)
+
+    def compromise(self, url: str, payload: bytes) -> None:
+        """Eve hacks a page: same URL, trojaned content."""
+        page = self._page(url)
+        page.content = payload
+
+    def fetch(self, url: str) -> tuple[Page, list[str]]:
+        """Resolve a URL following redirects.
+
+        Returns the final page and the chain of URLs traversed
+        (including the final one).
+        """
+        chain = [url]
+        page = self._page(url)
+        hops = 0
+        while page.redirect is not None:
+            hops += 1
+            if hops > self.MAX_REDIRECTS:
+                raise BrowserError(f"redirect loop at {url}")
+            chain.append(page.redirect)
+            page = self._page(page.redirect)
+        self.requests += 1
+        return page, chain
+
+    def exists(self, url: str) -> bool:
+        return url in self._pages
+
+    def _page(self, url: str) -> Page:
+        try:
+            return self._pages[url]
+        except KeyError:
+            raise BrowserError(f"404: {url}") from None
+
+    def urls(self) -> list[str]:
+        return sorted(self._pages)

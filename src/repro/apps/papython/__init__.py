@@ -1,0 +1,20 @@
+"""PA-Python: runtime Python provenance tracking (paper section 6.4).
+
+Wrappers that make a Python *application* provenance-aware: functions,
+modules, data objects, and files are shadowed by ``pass_mkobj`` objects;
+every invocation of a wrapped callable becomes an INVOCATION object with
+INPUT records tying it to its wrapped inputs, its function, and its
+outputs.  Combined with the PASS layer underneath, this answers the
+section 3.3 questions: which of the many files *read* were actually
+*used*, and which outputs passed through a particular routine.
+
+Known limitation, faithfully reproduced: provenance does not flow
+through *built-in operators* on unwrapped values -- the paper's own
+lesson ("we could wrap functions, [but] we lost provenance across
+built-in operators"; fixing that would mean a provenance-aware
+interpreter, which the authors left to future work).
+"""
+
+from repro.apps.papython.wrapper import ProvenanceTracker, TrackedValue
+
+__all__ = ["ProvenanceTracker", "TrackedValue"]

@@ -1,0 +1,164 @@
+"""The PA-Python wrapper machinery.
+
+Usage, inside a program running on the simulated machine::
+
+    tracker = ProvenanceTracker(sc)
+    load = tracker.wrap_function(parse_xml, name="parse_xml")
+    heat = tracker.wrap_function(crack_heating, name="crack_heating")
+
+    doc = tracker.read_file("/pass/data/exp001.xml")   # TrackedValue
+    parsed = load(doc)                                  # invocation #1
+    curve = heat(parsed)                                # invocation #2
+    tracker.write_file("/pass/out/plot.dat", curve)
+
+The written file's ancestry now contains: the plot <- invocation#2 <-
+invocation#1 <- the exact XML file (pnode+version) it came from, plus
+FUNCTION objects for each wrapped routine -- even though the enclosing
+process read *hundreds* of other XML files PASS alone would blame.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.core.records import Attr, ObjType
+
+
+class TrackedValue:
+    """A Python value shadowed by a provenance object."""
+
+    __slots__ = ("value", "fd", "tracker", "label")
+
+    def __init__(self, value, fd: int, tracker: "ProvenanceTracker",
+                 label: str):
+        self.value = value
+        self.fd = fd
+        self.tracker = tracker
+        self.label = label
+
+    @property
+    def ref(self):
+        return self.tracker.dpapi.ref_of(self.fd)
+
+    def __repr__(self) -> str:
+        return f"<TrackedValue {self.label!r}>"
+
+
+class ProvenanceTracker:
+    """Creates and connects the PA-Python provenance objects."""
+
+    def __init__(self, sc):
+        self.sc = sc
+        self.dpapi = sc.dpapi
+        self._invocations = 0
+
+    # -- object creation --------------------------------------------------------------
+
+    def _mkobj(self, obj_type: str, name: str) -> int:
+        fd = self.dpapi.pass_mkobj()
+        self.dpapi.pass_write(fd, records=[
+            self.dpapi.record(fd, Attr.TYPE, obj_type),
+            self.dpapi.record(fd, Attr.NAME, name),
+        ])
+        return fd
+
+    def wrap_value(self, value, label: str) -> TrackedValue:
+        """Shadow an arbitrary Python value."""
+        fd = self._mkobj(ObjType.PYOBJECT, label)
+        return TrackedValue(value, fd, self, label)
+
+    def wrap_function(self, fn: Callable,
+                      name: Optional[str] = None) -> Callable:
+        """Wrap a callable: every call becomes an INVOCATION object.
+
+        The wrapped callable accepts TrackedValues and plain values;
+        plain values pass through untracked (the built-in-operator gap).
+        TrackedValue arguments are unwrapped before ``fn`` sees them,
+        and the result comes back as a TrackedValue.
+        """
+        fn_name = name or getattr(fn, "__name__", "anonymous")
+        fn_fd = self._mkobj(ObjType.FUNCTION, fn_name)
+
+        def wrapped(*args, **kwargs):
+            self._invocations += 1
+            inv_name = f"{fn_name}#{self._invocations}"
+            inv_fd = self._mkobj(ObjType.INVOCATION, inv_name)
+            records = [self.dpapi.record(inv_fd, Attr.INPUT,
+                                         self.dpapi.ref_of(fn_fd))]
+            plain_args = []
+            for arg in args:
+                if isinstance(arg, TrackedValue):
+                    records.append(self.dpapi.record(inv_fd, Attr.INPUT,
+                                                     arg.ref))
+                    plain_args.append(arg.value)
+                else:
+                    plain_args.append(arg)
+            plain_kwargs = {}
+            for key, arg in kwargs.items():
+                if isinstance(arg, TrackedValue):
+                    records.append(self.dpapi.record(inv_fd, Attr.INPUT,
+                                                     arg.ref))
+                    plain_kwargs[key] = arg.value
+                else:
+                    plain_kwargs[key] = arg
+            self.dpapi.pass_write(inv_fd, records=records)
+
+            result = fn(*plain_args, **plain_kwargs)
+
+            out = self.wrap_value(result, f"{inv_name}:result")
+            self.dpapi.pass_write(out.fd, records=[
+                self.dpapi.record(out.fd, Attr.INPUT,
+                                  self.dpapi.ref_of(inv_fd)),
+            ])
+            return out
+
+        wrapped.__name__ = f"pa_{fn_name}"
+        wrapped.provenance_fd = fn_fd
+        return wrapped
+
+    def wrap_module(self, module, names: Optional[list[str]] = None) -> dict:
+        """Wrap the callables of a module-like object (or dict).
+
+        Returns {name: wrapped callable}.  ``names`` restricts which
+        attributes are wrapped; by default every public callable is.
+        """
+        if isinstance(module, dict):
+            items = module.items()
+        else:
+            items = ((name, getattr(module, name)) for name in dir(module)
+                     if not name.startswith("_"))
+        wrapped = {}
+        for name, value in items:
+            if names is not None and name not in names:
+                continue
+            if callable(value):
+                wrapped[name] = self.wrap_function(value, name=name)
+        return wrapped
+
+    # -- file integration ---------------------------------------------------------------
+
+    def read_file(self, path: str) -> TrackedValue:
+        """pass_read a file into a TrackedValue whose provenance names
+        the exact (pnode, version) that was read."""
+        fd = self.sc.open(path, "r")
+        data, ref = self.dpapi.pass_read(fd)
+        self.sc.close(fd)
+        doc = self.wrap_value(data, path)
+        self.dpapi.pass_write(doc.fd, records=[
+            self.dpapi.record(doc.fd, Attr.INPUT, ref),
+        ])
+        return doc
+
+    def write_file(self, path: str, value) -> None:
+        """Write a (tracked) value to a file, disclosing the link."""
+        data = value.value if isinstance(value, TrackedValue) else value
+        if not isinstance(data, bytes):
+            data = str(data).encode()
+        fd = self.sc.open(path, "w")
+        if isinstance(value, TrackedValue):
+            self.dpapi.pass_write(fd, data, [
+                self.dpapi.record(fd, Attr.INPUT, value.ref),
+            ])
+        else:
+            self.sc.write(fd, data)
+        self.sc.close(fd)

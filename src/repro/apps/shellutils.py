@@ -1,0 +1,198 @@
+"""Provenance-aware core utilities.
+
+Small UNIX-style programs implemented against the simulated syscall
+interface.  Installing them (:func:`install`) registers executables
+under ``<root>/bin`` so shells, workloads, and examples can compose
+realistic pipelines whose provenance looks like real systems':
+``cp`` output descends from its input *and* the cp process, ``sort``
+from everything it read, and so on.
+
+Programs take their arguments from ``argv`` (the registered program
+receives the Syscalls facade; argv is on ``sc.proc.argv``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.errors import FileNotFound, KernelError
+
+
+class UsageError(KernelError):
+    """Bad command-line arguments to a shell utility."""
+
+    errno_name = "EINVAL"
+
+
+def _args(sc) -> list[str]:
+    return sc.proc.argv[1:]
+
+
+def _read_whole(sc, path: str) -> bytes:
+    fd = sc.open(path, "r")
+    data = sc.read(fd)
+    sc.close(fd)
+    return data
+
+
+def _write_whole(sc, path: str, data: bytes) -> None:
+    fd = sc.open(path, "w")
+    sc.write(fd, data)
+    sc.close(fd)
+
+
+def _output(sc, data: bytes, target: Optional[str]) -> None:
+    """Write to an explicit target file, else stdout if inherited."""
+    if target is not None:
+        _write_whole(sc, target, data)
+        return
+    if sc.proc.stdout_fd is not None:
+        sc.write(sc.stdout, data)
+        return
+    raise UsageError("no output target (give a file or pipe stdout)")
+
+
+# -- the utilities -------------------------------------------------------------------
+
+
+def cp_program(sc) -> int:
+    """cp SRC DST — copy one file; DST descends from SRC and cp."""
+    args = _args(sc)
+    if len(args) != 2:
+        raise UsageError("cp: expected SRC DST")
+    source, target = args
+    _write_whole(sc, target, _read_whole(sc, source))
+    return 0
+
+
+def cat_program(sc) -> int:
+    """cat FILE... [> stdout] — concatenate files to stdout/last arg.
+
+    With an inherited stdout, all arguments are inputs; otherwise the
+    last argument is the output file.
+    """
+    args = _args(sc)
+    if not args:
+        raise UsageError("cat: expected at least one file")
+    if sc.proc.stdout_fd is not None:
+        sources, target = args, None
+    else:
+        if len(args) < 2:
+            raise UsageError("cat: need inputs and an output file")
+        sources, target = args[:-1], args[-1]
+    blob = b"".join(_read_whole(sc, source) for source in sources)
+    _output(sc, blob, target)
+    return 0
+
+
+def grep_program(sc) -> int:
+    """grep PATTERN FILE [OUT] — matching lines (plain substring)."""
+    args = _args(sc)
+    if len(args) not in (2, 3):
+        raise UsageError("grep: expected PATTERN FILE [OUT]")
+    pattern = args[0].encode()
+    lines = _read_whole(sc, args[1]).split(b"\n")
+    sc.compute(1e-7 * max(1, len(lines)))
+    matched = b"\n".join(line for line in lines if pattern in line)
+    _output(sc, matched, args[2] if len(args) == 3 else None)
+    return 0
+
+
+def sort_program(sc) -> int:
+    """sort FILE [OUT] — sort lines lexicographically."""
+    args = _args(sc)
+    if len(args) not in (1, 2):
+        raise UsageError("sort: expected FILE [OUT]")
+    lines = [line for line in _read_whole(sc, args[0]).split(b"\n")
+             if line]
+    sc.compute(2e-7 * max(1, len(lines)))
+    _output(sc, b"\n".join(sorted(lines)) + b"\n",
+            args[1] if len(args) == 2 else None)
+    return 0
+
+
+def wc_program(sc) -> int:
+    """wc FILE [OUT] — lines/words/bytes."""
+    args = _args(sc)
+    if len(args) not in (1, 2):
+        raise UsageError("wc: expected FILE [OUT]")
+    data = _read_whole(sc, args[0])
+    counts = (data.count(b"\n"), len(data.split()), len(data))
+    report = ("%d %d %d %s\n" % (*counts, args[0])).encode()
+    _output(sc, report, args[1] if len(args) == 2 else None)
+    return 0
+
+
+def tee_program(sc) -> int:
+    """tee FILE — copy stdin to FILE and stdout (if piped onward)."""
+    args = _args(sc)
+    if len(args) != 1:
+        raise UsageError("tee: expected FILE")
+    data = sc.read(sc.stdin)
+    _write_whole(sc, args[0], data)
+    if sc.proc.stdout_fd is not None:
+        sc.write(sc.stdout, data)
+    return 0
+
+
+def tar_create_program(sc) -> int:
+    """tar DIR OUT — archive a directory (flat, toy format)."""
+    args = _args(sc)
+    if len(args) != 2:
+        raise UsageError("tar: expected DIR OUT")
+    directory, target = args
+    parts = []
+    for name in sc.readdir(directory):
+        path = f"{directory.rstrip('/')}/{name}"
+        if sc.stat(path)["kind"] == "file":
+            data = _read_whole(sc, path)
+            parts.append(f"{name}\0{len(data)}\0".encode() + data)
+    _write_whole(sc, target, b"TOYTAR" + b"".join(parts))
+    return 0
+
+
+def tar_extract_program(sc) -> int:
+    """untar ARCHIVE DIR — extract a toy archive."""
+    args = _args(sc)
+    if len(args) != 2:
+        raise UsageError("untar: expected ARCHIVE DIR")
+    archive, directory = args
+    blob = _read_whole(sc, archive)
+    if not blob.startswith(b"TOYTAR"):
+        raise UsageError(f"untar: {archive} is not a toy tar")
+    if not sc.exists(directory):
+        sc.mkdir(directory)
+    offset = len(b"TOYTAR")
+    while offset < len(blob):
+        name_end = blob.index(b"\0", offset)
+        name = blob[offset:name_end].decode()
+        size_end = blob.index(b"\0", name_end + 1)
+        size = int(blob[name_end + 1:size_end])
+        start = size_end + 1
+        _write_whole(sc, f"{directory.rstrip('/')}/{name}",
+                     blob[start:start + size])
+        offset = start + size
+    return 0
+
+
+UTILITIES = {
+    "cp": cp_program,
+    "cat": cat_program,
+    "grep": grep_program,
+    "sort": sort_program,
+    "wc": wc_program,
+    "tee": tee_program,
+    "tar": tar_create_program,
+    "untar": tar_extract_program,
+}
+
+
+def install(system, root: str = "/pass") -> dict[str, str]:
+    """Register every utility under ``<root>/bin``; returns name->path."""
+    paths = {}
+    for name, program in UTILITIES.items():
+        path = f"{root.rstrip('/')}/bin/{name}"
+        if not system.kernel.vfs.exists(path):
+            system.register_program(path, program, size=65536)
+        paths[name] = path
+    return paths

@@ -1,0 +1,263 @@
+"""Command-line interface to the PASSv2 reproduction.
+
+Everything is an in-memory simulation, so the CLI builds a scenario,
+then lets you query or render it::
+
+    python -m repro.cli demo --scenario challenge \
+        --query 'select A from Provenance.file as Atlas \
+                 Atlas.input* as A where Atlas.name like "%atlas-x.gif"'
+    python -m repro.cli demo --scenario malware --tree /pass/codec.bin
+    python -m repro.cli demo --scenario quickstart --dot out.dot
+    python -m repro.cli bench --scale 0.2
+    python -m repro.cli inspect
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.records import Attr
+from repro.pql.oem import OEMNode
+from repro.query.helpers import newest_ref_by_name
+from repro.query.report import ancestry_tree, to_dot
+from repro.system import System
+
+
+def build_quickstart() -> System:
+    """A small pipeline: two files, one transforming process."""
+    system = System.boot()
+    with system.process(argv=["ingest"]) as proc:
+        fd = proc.open("/pass/raw.dat", "w")
+        proc.write(fd, b"1,2,3\n")
+        proc.close(fd)
+    with system.process(argv=["transform"]) as proc:
+        fd = proc.open("/pass/raw.dat", "r")
+        data = proc.read(fd)
+        proc.close(fd)
+        out = proc.open("/pass/result.dat", "w")
+        proc.write(out, data.upper())
+        proc.close(out)
+    system.sync()
+    return system
+
+
+def build_challenge() -> System:
+    """The First Provenance Challenge workflow under PA-Kepler."""
+    from repro.apps.kepler.challenge import (
+        build_challenge as build_wf,
+        ensure_dirs,
+        generate_inputs,
+    )
+    from repro.apps.kepler.director import run_workflow
+
+    system = System.boot()
+    ensure_dirs(system, "/pass/inputs", "/pass/work", "/pass/out")
+    generate_inputs(system, "/pass/inputs")
+    workflow = build_wf("/pass/inputs", "/pass/work", "/pass/out")
+    run_workflow(system, workflow, recording="pass")
+    system.sync()
+    return system
+
+
+def build_malware() -> System:
+    """The section 3.2 malware scenario."""
+    from repro.apps.links import Browser, Web
+
+    system = System.boot()
+    web = Web()
+    web.publish("http://portal/", links=["http://codecs/"])
+    web.publish("http://codecs/", links=["http://codecs/get"])
+    web.publish("http://codecs/get", content=b"MALWARE")
+
+    def alice(sc):
+        browser = Browser(sc, web)
+        session = browser.new_session()
+        browser.visit(session, "http://portal/")
+        browser.follow_link(session, 0)
+        browser.download(session, "http://codecs/get", "/pass/codec.bin")
+        return 0
+
+    def infected(sc):
+        fd = sc.open("/pass/codec.bin", "r")
+        payload = sc.read(fd)
+        sc.close(fd)
+        out = sc.open("/pass/victim.doc", "w")
+        sc.write(out, payload)
+        sc.close(out)
+        return 0
+
+    system.register_program("/pass/bin/links", alice)
+    system.run("/pass/bin/links")
+    system.register_program("/pass/bin/codec", infected)
+    system.run("/pass/bin/codec")
+    system.sync()
+    return system
+
+
+SCENARIOS = {
+    "quickstart": build_quickstart,
+    "challenge": build_challenge,
+    "malware": build_malware,
+}
+
+
+def _render_row(row) -> str:
+    if isinstance(row, OEMNode):
+        label = row.name or f"pnode {row.ref.pnode}"
+        return f"{row.ref}  {label}  [{row.type or '?'}]"
+    if isinstance(row, tuple):
+        return "  |  ".join(_render_row(cell) for cell in row)
+    return repr(row)
+
+
+def cmd_demo(args: argparse.Namespace) -> int:
+    system = SCENARIOS[args.scenario]()
+    print(f"scenario {args.scenario!r}: "
+          f"{sum(len(db) for db in system.databases())} provenance "
+          f"records, simulated t={system.elapsed():.3f}s", file=sys.stderr)
+    if args.query:
+        for row in system.query(args.query):
+            print(_render_row(row))
+    if args.tree:
+        ref = newest_ref_by_name(system.databases(), args.tree)
+        print(ancestry_tree(system.databases(), ref))
+    if args.dot:
+        roots = [ref for name in _interesting_outputs(system)
+                 for ref in [newest_ref_by_name(system.databases(), name)]]
+        text = to_dot(system.databases(), roots)
+        if args.dot == "-":
+            print(text)
+        else:
+            with open(args.dot, "w", encoding="utf-8") as handle:
+                handle.write(text)
+            print(f"wrote {args.dot}", file=sys.stderr)
+    if args.save:
+        from repro.storage.database import ProvenanceDatabase
+        merged = ProvenanceDatabase("export")
+        for db in system.databases():
+            merged.insert_many(db.all_records())
+        nbytes = merged.save(args.save)
+        print(f"saved {len(merged)} records ({nbytes} bytes) to "
+              f"{args.save}", file=sys.stderr)
+    if not (args.query or args.tree or args.dot or args.save):
+        print("nothing asked; try --query / --tree / --dot / --save "
+              "(see --help)", file=sys.stderr)
+    return 0
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    """Run PQL against a previously saved database export."""
+    from repro.pql.engine import QueryEngine
+    from repro.storage.database import ProvenanceDatabase
+
+    database = ProvenanceDatabase.load(args.db)
+    engine = QueryEngine.from_databases([database])
+    for row in engine.execute(args.query):
+        print(_render_row(row))
+    return 0
+
+
+def _interesting_outputs(system: System) -> list[str]:
+    names = []
+    for db in system.databases():
+        for record in db.all_records():
+            if record.attr == Attr.NAME and isinstance(record.value, str) \
+                    and record.value.startswith("/"):
+                names.append(record.value)
+    return names[-3:] if names else []
+
+
+def cmd_fsck(args: argparse.Namespace) -> int:
+    """Integrity-check a saved database export."""
+    from repro.storage.database import ProvenanceDatabase
+    from repro.storage.fsck import fsck
+
+    database = ProvenanceDatabase.load(args.db)
+    report = fsck([database])
+    print(report)
+    for finding in report.findings:
+        print(f"  {finding}")
+    return 0 if report.clean else 1
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    from repro.workloads import ALL_WORKLOADS
+    from repro.workloads.base import overhead_pct, run_local
+
+    print(f"{'Benchmark':22s}{'Ext3':>10s}{'PASSv2':>10s}{'Overhead':>10s}")
+    for workload_cls in ALL_WORKLOADS:
+        workload = workload_cls(scale=args.scale)
+        base = run_local(workload, provenance=False)
+        passv2 = run_local(workload, provenance=True)
+        print(f"{workload.name:22s}{base.elapsed:>9.1f}s"
+              f"{passv2.elapsed:>9.1f}s"
+              f"{overhead_pct(base, passv2):>9.1f}%")
+    return 0
+
+
+def cmd_inspect(args: argparse.Namespace) -> int:
+    system = build_quickstart()
+    kernel = system.kernel
+    lasagna = kernel.volume("pass").lasagna
+    waldo = system.waldos["pass"]
+    print("PASSv2 components after the quickstart scenario:")
+    print(f"  interceptor   events={dict(kernel.interceptor.counts)}")
+    print(f"  analyzer      in={kernel.analyzer.records_in} "
+          f"out={kernel.analyzer.records_out} "
+          f"dups={kernel.analyzer.duplicates_dropped} "
+          f"freezes={kernel.analyzer.freezes}")
+    print(f"  distributor   cached={kernel.distributor.records_cached} "
+          f"flushed={kernel.distributor.records_flushed}")
+    print(f"  lasagna       flushes={lasagna.log.flushes} "
+          f"log-bytes={lasagna.log.bytes_logged}")
+    print(f"  waldo         records={len(waldo.database)} "
+          f"sizes={waldo.sizes()}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cli",
+        description="PASSv2 reproduction: scenarios, queries, benchmarks",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="build a scenario and query it")
+    demo.add_argument("--scenario", choices=sorted(SCENARIOS),
+                      default="quickstart")
+    demo.add_argument("--query", help="PQL query to run")
+    demo.add_argument("--tree", metavar="NAME",
+                      help="print the ancestry tree of a named object")
+    demo.add_argument("--dot", metavar="FILE",
+                      help="write a Graphviz rendering ('-' for stdout)")
+    demo.add_argument("--save", metavar="FILE",
+                      help="export the merged provenance database")
+    demo.set_defaults(func=cmd_demo)
+
+    query = sub.add_parser("query",
+                           help="run PQL against a saved database export")
+    query.add_argument("--db", required=True,
+                       help="database export from 'demo --save'")
+    query.add_argument("query", help="PQL query text")
+    query.set_defaults(func=cmd_query)
+
+    fsck_cmd = sub.add_parser("fsck",
+                              help="integrity-check a saved export")
+    fsck_cmd.add_argument("--db", required=True)
+    fsck_cmd.set_defaults(func=cmd_fsck)
+
+    bench = sub.add_parser("bench", help="quick Table 2 (left) run")
+    bench.add_argument("--scale", type=float, default=0.2)
+    bench.set_defaults(func=cmd_bench)
+
+    inspect = sub.add_parser("inspect",
+                             help="show per-component statistics")
+    inspect.set_defaults(func=cmd_inspect)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

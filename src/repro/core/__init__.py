@@ -1,0 +1,28 @@
+"""PASSv2 core: the provenance pipeline.
+
+Data and provenance flow together through these components (paper
+Figure 2)::
+
+    application --(libpass / DPAPI)--> observer --> analyzer
+        --> distributor --> Lasagna (log) --> Waldo --> database
+
+* :mod:`repro.core.records`     -- records, attributes, bundles
+* :mod:`repro.core.pnode`       -- pnode numbers, object identity
+* :mod:`repro.core.dpapi`       -- the Disclosed Provenance API
+* :mod:`repro.core.observer`    -- syscall events -> provenance records
+* :mod:`repro.core.analyzer`    -- duplicate elimination, cycle avoidance
+* :mod:`repro.core.distributor` -- provenance of non-persistent objects
+* :mod:`repro.core.libpass`     -- user-level DPAPI bindings
+"""
+
+from repro.core.pnode import ObjectRef, PnodeAllocator
+from repro.core.records import Attr, Bundle, ObjType, ProvenanceRecord
+
+__all__ = [
+    "Attr",
+    "Bundle",
+    "ObjType",
+    "ObjectRef",
+    "PnodeAllocator",
+    "ProvenanceRecord",
+]

@@ -1,0 +1,193 @@
+"""The analyzer: duplicate elimination and cycle avoidance (section 5.4).
+
+The analyzer sits between the observer and the distributor.  It receives
+*proto-records* -- records whose subject is a live object rather than a
+frozen (pnode, version) pair -- finalizes their subject version, drops
+duplicates, and guarantees that the resulting provenance graph over
+(pnode, version) nodes is acyclic.
+
+Cycle avoidance follows the algorithm of Muniswamy-Reddy & Holland
+(FAST '09) that PASSv2 adopted after PASSv1's global cycle *detection*
+proved intractable.  The local rule that guarantees acyclicity is
+immutability of *observed* versions: the moment any record makes some
+object depend on version (p, v), that version's own ancestry is frozen
+forever.  When a new dependency must be recorded *from* an object whose
+current version has already been observed (or the edge is a self-edge),
+the analyzer first freezes the object -- creating a new version that
+depends on the old one -- and records the edge against the new version.
+
+Why this is sound: a cycle would need some version to gain an outgoing
+edge *after* gaining an incoming one; the observed-version rule makes
+exactly that impossible.  It is conservative -- it may create versions a
+global analysis would avoid -- but it needs no global state, which is
+what lets the same analyzer run unmodified on NFS clients and servers.
+
+Duplicate elimination: programs do I/O in small blocks, so a single
+logical read/write produces many identical records; a record whose
+(subject, attribute, value) triple was already recorded for the same
+subject version is dropped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Union
+
+from repro.core.pnode import ObjectRef
+from repro.core.records import Attr, ProvenanceRecord, Value
+
+
+@dataclass
+class ProtoRecord:
+    """A record-in-flight whose subject is still a live object.
+
+    ``subject`` is any object with ``pnode``/``version`` attributes and a
+    ``ref()`` method (inode, process, pipe, :class:`PassObject`).  The
+    analyzer pins the subject version when it admits the record.
+    """
+
+    subject: object
+    attr: str
+    value: Value
+
+
+#: Object the analyzer can freeze: has pnode, version, ref().
+Freezable = object
+
+
+class Analyzer:
+    """Stream processor: proto-records in, finalized records out.
+
+    ``emit`` receives each admitted :class:`ProvenanceRecord` in order;
+    the distributor is the normal consumer.  ``on_freeze`` (optional) is
+    told about analyzer-initiated freezes so storage layers can version
+    data structures.
+    """
+
+    def __init__(self, emit: Callable[[ProvenanceRecord], None],
+                 clock=None, record_cost: float = 0.0):
+        self._emit = emit
+        self._clock = clock
+        self._record_cost = record_cost
+        #: Ancestors (ObjectRefs) of each pnode's *current* version.
+        self._ancestors: dict[int, set[ObjectRef]] = {}
+        #: Versions some object depends on: immutable from then on.
+        self._observed: set[ObjectRef] = set()
+        #: (attr, value-key) pairs already recorded, per (pnode, version).
+        self._seen: dict[ObjectRef, set[tuple]] = {}
+        #: pnode -> live object, so freezes can bump versions.
+        self._registry: dict[int, Freezable] = {}
+        self.on_freeze: Optional[Callable[[Freezable, int], None]] = None
+        #: Ablation switch: disable duplicate elimination (the paper's
+        #: motivation for the analyzer -- per-block I/O floods the log).
+        self.dedup_enabled = True
+        # Statistics.
+        self.records_in = 0
+        self.records_out = 0
+        self.duplicates_dropped = 0
+        self.freezes = 0
+
+    # -- object registry ------------------------------------------------------
+
+    def register(self, obj: Freezable) -> None:
+        """Make an object freezable / resolvable by pnode."""
+        self._registry[obj.pnode] = obj
+
+    def lookup(self, pnode: int) -> Optional[Freezable]:
+        """Find the live object for a pnode, if registered."""
+        return self._registry.get(pnode)
+
+    def forget(self, pnode: int) -> None:
+        """Drop a dead object from the registry (keeps ancestry sets)."""
+        self._registry.pop(pnode, None)
+
+    # -- record admission -----------------------------------------------------
+
+    def submit(self, proto: Union[ProtoRecord, ProvenanceRecord]) -> None:
+        """Admit one record: version-pin, cycle-avoid, dedup, emit."""
+        self.records_in += 1
+        if self._clock is not None and self._record_cost:
+            self._clock.advance(self._record_cost, "provenance_cpu")
+
+        if isinstance(proto, ProvenanceRecord):
+            # Already finalized (e.g. arrived over the NFS wire): dedup
+            # and ancestry-track, but do not re-version.
+            self._admit(proto.subject, proto.attr, proto.value)
+            return
+
+        subject = proto.subject
+        value = proto.value
+        if isinstance(value, ObjectRef) and proto.attr in Attr.ANCESTRY_ATTRS:
+            self._avoid_cycle(subject, value)
+        self._admit(subject.ref(), proto.attr, value)
+
+    def submit_many(self, protos) -> None:
+        """Admit a sequence of records in order."""
+        for proto in protos:
+            self.submit(proto)
+
+    def _admit(self, subject_ref: ObjectRef, attr: str, value: Value) -> None:
+        record = ProvenanceRecord(subject_ref, attr, value)
+        seen = self._seen.setdefault(subject_ref, set())
+        dedup_key = (attr, record.key()[2])
+        if dedup_key in seen:
+            if self.dedup_enabled:
+                self.duplicates_dropped += 1
+                return
+        else:
+            seen.add(dedup_key)
+        if record.is_ancestry:
+            self._note_edge(subject_ref, value)
+        self.records_out += 1
+        self._emit(record)
+
+    # -- cycle avoidance --------------------------------------------------------
+
+    def _avoid_cycle(self, subject: Freezable, value: ObjectRef) -> None:
+        """Freeze ``subject`` if recording ``subject -> value`` could cycle."""
+        current = subject.ref()
+        if value.pnode == current.pnode:
+            # Self-dependency: reading your own output.  A reference to an
+            # *older* version of yourself is fine (that is what freezing
+            # produces); the current version would be a 1-cycle.
+            if value.version >= current.version:
+                self.freeze(subject)
+            return
+        # Observed versions are immutable: if anything already depends on
+        # the subject's current version, new ancestry starts a new one.
+        if current in self._observed:
+            self.freeze(subject)
+
+    def freeze(self, subject: Freezable) -> int:
+        """Create a new version of ``subject``; returns the new version.
+
+        The new version depends on the old one (PREV_VERSION edge), its
+        ancestor set inherits the old version's (contents persist across
+        versions), and its duplicate-elimination state starts fresh.
+        """
+        old_ref = subject.ref()
+        subject.version += 1
+        new_ref = subject.ref()
+        self.freezes += 1
+        inherited = set(self._ancestors.get(subject.pnode, ()))
+        inherited.add(old_ref)
+        self._ancestors[subject.pnode] = inherited
+        self._seen.setdefault(new_ref, set())
+        if self.on_freeze is not None:
+            self.on_freeze(subject, subject.version)
+        self._admit(new_ref, Attr.PREV_VERSION, old_ref)
+        return subject.version
+
+    def _note_edge(self, subject_ref: ObjectRef, value: ObjectRef) -> None:
+        """Fold ``value`` and its known ancestry into the subject's set,
+        and pin ``value`` as observed (immutable from now on)."""
+        anc = self._ancestors.setdefault(subject_ref.pnode, set())
+        anc.add(value)
+        anc.update(self._ancestors.get(value.pnode, ()))
+        self._observed.add(value)
+
+    # -- introspection ------------------------------------------------------------
+
+    def ancestors_of(self, pnode: int) -> frozenset[ObjectRef]:
+        """Known ancestry of the object's current version (testing aid)."""
+        return frozenset(self._ancestors.get(pnode, ()))

@@ -1,0 +1,138 @@
+"""The distributor: provenance for objects that are not PASS files.
+
+Processes, pipes, ``pass_mkobj`` objects, and files on non-PASS volumes
+are provenanced but not persistent on any PASS-enabled volume.  The
+distributor caches their records in memory and materializes them on a
+PASS volume only when:
+
+* they become part of the ancestry of a persistent object there (the
+  flush happens *before* the descendant's record, preserving the
+  write-ahead-provenance invariant that no record ever references an
+  ancestor whose provenance is not already on disk), or
+* the application forces it with ``pass_sync``.
+
+Records whose subjects never reach either state are discarded when the
+object dies -- correct behaviour for purely transient objects such as
+processes with no surviving descendants (section 5.5).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.core.errors import UnknownPnode, VolumeError
+from repro.core.pnode import TRANSIENT_VOLUME, ObjectRef, volume_of
+from repro.core.records import Bundle, ProvenanceRecord
+
+#: A sink accepting (volume_name, Bundle) -- Lasagna's provenance-only
+#: write path, bound in by the kernel assembly.
+FlushSink = Callable[[str, Bundle], None]
+
+
+class Distributor:
+    """Routes finalized records to a PASS volume log or an in-memory cache."""
+
+    def __init__(self, flush_sink: FlushSink,
+                 volume_name_of: Callable[[int], str],
+                 default_volume: Optional[str] = None):
+        self._flush_sink = flush_sink
+        self._volume_name_of = volume_name_of
+        self.default_volume = default_volume
+        #: Cached records of not-yet-persistent objects, by pnode.
+        self._cache: dict[int, list[ProvenanceRecord]] = {}
+        #: Volume each flushed transient pnode was assigned to.
+        self._assigned: dict[int, str] = {}
+        #: Volume hints from pass_mkobj.
+        self._hints: dict[int, str] = {}
+        # Statistics.
+        self.records_cached = 0
+        self.records_flushed = 0
+        self.records_discarded = 0
+
+    # -- configuration ----------------------------------------------------------
+
+    def set_hint(self, pnode: int, volume_name: str) -> None:
+        """Remember the volume a pass_mkobj caller asked for."""
+        self._hints[pnode] = volume_name
+
+    # -- record routing -----------------------------------------------------------
+
+    def dispatch(self, record: ProvenanceRecord) -> None:
+        """Accept one finalized record from the analyzer."""
+        pnode = record.subject.pnode
+        if self._is_persistent(pnode):
+            volume = self._volume_name_of(volume_of(pnode))
+            self._flush_ancestors(record, volume)
+            self._flush_sink(volume, Bundle([record]))
+            self.records_flushed += 1
+        elif pnode in self._assigned:
+            # Already materialized somewhere: follow-on records go there.
+            volume = self._assigned[pnode]
+            self._flush_ancestors(record, volume)
+            self._flush_sink(volume, Bundle([record]))
+            self.records_flushed += 1
+        else:
+            self._cache.setdefault(pnode, []).append(record)
+            self.records_cached += 1
+
+    def _flush_ancestors(self, record: ProvenanceRecord, volume: str) -> None:
+        """Materialize cached provenance of any ancestor the record names."""
+        if isinstance(record.value, ObjectRef):
+            self.flush(record.value.pnode, volume)
+
+    @staticmethod
+    def _is_persistent(pnode: int) -> bool:
+        return volume_of(pnode) != TRANSIENT_VOLUME
+
+    # -- flushing ---------------------------------------------------------------
+
+    def flush(self, pnode: int, volume: Optional[str] = None) -> int:
+        """Materialize the cached provenance of one object (recursively
+        including its cached ancestors) onto ``volume``.
+
+        Returns the number of records written.  A no-op for objects with
+        no cached records (persistent objects, already-flushed objects).
+        """
+        if pnode not in self._cache:
+            return 0
+        volume = (volume or self._hints.get(pnode)
+                  or self._assigned.get(pnode) or self.default_volume)
+        if volume is None:
+            raise VolumeError(
+                f"no PASS volume available to hold provenance of pnode {pnode}"
+            )
+        records = self._cache.pop(pnode)
+        self._assigned[pnode] = volume
+        # Ancestors first: write-ahead provenance across objects.
+        for record in records:
+            if isinstance(record.value, ObjectRef):
+                self.flush(record.value.pnode, volume)
+        self._flush_sink(volume, Bundle(records))
+        self.records_flushed += len(records)
+        return len(records)
+
+    def sync(self, pnode: int, volume: Optional[str] = None) -> int:
+        """``pass_sync``: force an object's provenance to disk."""
+        if pnode not in self._cache and pnode not in self._assigned:
+            raise UnknownPnode(f"pass_sync: nothing known about pnode {pnode}")
+        return self.flush(pnode, volume)
+
+    def discard(self, pnode: int) -> int:
+        """Drop cached records of a dead object with no persistent ties."""
+        records = self._cache.pop(pnode, [])
+        self.records_discarded += len(records)
+        return len(records)
+
+    # -- introspection ---------------------------------------------------------
+
+    def cached_records(self, pnode: int) -> list[ProvenanceRecord]:
+        """Copy of the records currently cached for an object."""
+        return list(self._cache.get(pnode, ()))
+
+    def cached_pnodes(self) -> list[int]:
+        """Pnodes with cached (unmaterialized) provenance."""
+        return list(self._cache)
+
+    def assigned_volume(self, pnode: int) -> Optional[str]:
+        """Volume a transient object's provenance was materialized on."""
+        return self._assigned.get(pnode)

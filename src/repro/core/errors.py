@@ -1,0 +1,154 @@
+"""Exception hierarchy for the PASSv2 reproduction.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch one base class.  Kernel-level errors mirror POSIX errno
+semantics where a real kernel would return one.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class KernelError(ReproError):
+    """Base class for simulated-kernel errors (POSIX-ish)."""
+
+    errno_name = "EINVAL"
+
+
+class FileNotFound(KernelError):
+    """Path resolution failed (ENOENT)."""
+
+    errno_name = "ENOENT"
+
+
+class FileExists(KernelError):
+    """Exclusive create hit an existing name (EEXIST)."""
+
+    errno_name = "EEXIST"
+
+
+class NotADirectory(KernelError):
+    """A path component was not a directory (ENOTDIR)."""
+
+    errno_name = "ENOTDIR"
+
+
+class IsADirectory(KernelError):
+    """File operation applied to a directory (EISDIR)."""
+
+    errno_name = "EISDIR"
+
+
+class DirectoryNotEmpty(KernelError):
+    """rmdir on a non-empty directory (ENOTEMPTY)."""
+
+    errno_name = "ENOTEMPTY"
+
+
+class BadFileDescriptor(KernelError):
+    """Operation on a closed or wrong-mode descriptor (EBADF)."""
+
+    errno_name = "EBADF"
+
+
+class CrossDeviceLink(KernelError):
+    """rename across volumes (EXDEV)."""
+
+    errno_name = "EXDEV"
+
+
+class BrokenPipe(KernelError):
+    """Write to a pipe with no readers (EPIPE)."""
+
+    errno_name = "EPIPE"
+
+
+class NoSuchProcess(KernelError):
+    """Operation on a dead or unknown process (ESRCH)."""
+
+    errno_name = "ESRCH"
+
+
+class ProvenanceError(ReproError):
+    """Base class for provenance-subsystem errors."""
+
+
+class InvalidRecord(ProvenanceError):
+    """A provenance record failed validation."""
+
+
+class UnknownPnode(ProvenanceError):
+    """A pnode number does not name any known object."""
+
+
+class StalePnodeVersion(ProvenanceError):
+    """pass_reviveobj was given a (pnode, version) that never existed."""
+
+
+class CycleError(ProvenanceError):
+    """Internal invariant violation: a cycle reached the storage layer.
+
+    The analyzer's cycle-avoidance algorithm should make this unreachable;
+    it exists so tests can assert the invariant instead of silently
+    corrupting the graph.
+    """
+
+
+class LogCorruption(ProvenanceError):
+    """The write-ahead provenance log failed to decode during recovery."""
+
+
+class VolumeError(ReproError):
+    """Volume configuration or capacity problem."""
+
+
+class NotPassVolume(VolumeError):
+    """A DPAPI operation targeted a volume without provenance support."""
+
+
+class PQLError(ReproError):
+    """Base class for Path Query Language errors."""
+
+
+class PQLSyntaxError(PQLError):
+    """The query text failed to lex or parse."""
+
+    def __init__(self, message: str, line: int = 1, column: int = 0):
+        super().__init__(f"{message} (line {line}, column {column})")
+        self.line = line
+        self.column = column
+
+
+class PQLTypeError(PQLError):
+    """An operation was applied to values of the wrong type."""
+
+
+class PQLNameError(PQLError):
+    """An unbound variable or unknown root was referenced."""
+
+
+class NFSError(ReproError):
+    """Base class for simulated-NFS protocol errors."""
+
+
+class StaleHandle(NFSError):
+    """Operation used a file handle the server no longer recognizes."""
+
+
+class TransactionError(NFSError):
+    """Provenance transaction protocol violation."""
+
+
+class NetworkPartition(NFSError):
+    """The simulated network refused to carry the message."""
+
+
+class WorkflowError(ReproError):
+    """Workflow construction or execution failure (PA-Kepler)."""
+
+
+class BrowserError(ReproError):
+    """Browser-level failure (PA-links), e.g. a dead URL."""

@@ -1,0 +1,267 @@
+"""The observer: system-call events -> provenance records (section 5.3).
+
+The observer receives events from the interceptor, constructs provenance
+records, and passes them to the analyzer.  It is also the entry point
+for provenance-aware applications: when an application discloses
+provenance through the DPAPI, the observer converts the disclosed
+records into kernel structures, adds the records the kernel itself must
+contribute (e.g. the dependency between the writing application and the
+written file), and forwards everything downstream.
+
+The observer drives the *data* path too, so that data and provenance
+move together (consistency, section 4): writes to a PASS volume go
+through Lasagna's ``pass_write``, which enforces write-ahead provenance.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Optional
+
+from repro.core.analyzer import Analyzer, ProtoRecord
+from repro.core.distributor import Distributor
+from repro.core.dpapi import PassObject
+from repro.core.errors import StalePnodeVersion
+from repro.core.pnode import ObjectRef, PnodeAllocator, TRANSIENT_VOLUME
+from repro.core.records import Attr, ObjType
+from repro.kernel.process import Pipe, Process
+from repro.kernel.vfs import Inode
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.kernel.kernel import Kernel
+
+
+class Observer:
+    """Translates events into records and routes data through the DPAPI."""
+
+    def __init__(self, kernel: "Kernel", analyzer: Analyzer,
+                 distributor: Distributor):
+        self.kernel = kernel
+        self.analyzer = analyzer
+        self.distributor = distributor
+        self._transient = PnodeAllocator(TRANSIENT_VOLUME)
+        #: pnodes whose identity (NAME/TYPE) records were already emitted.
+        self._identified: set[int] = set()
+        #: Revivable pass_mkobj objects, by pnode.
+        self._passobjs: dict[int, PassObject] = {}
+        #: Last process to write each file, by pnode: a write by a
+        #: *different* process starts a new version, so independent
+        #: producing runs never merge their ancestry into one version.
+        self._last_writer: dict[int, int] = {}
+
+    # -- pnode management -------------------------------------------------------
+
+    def transient_pnode(self) -> int:
+        """Allocate a pnode in the transient space."""
+        return self._transient.allocate()
+
+    def adopt(self, obj) -> None:
+        """Assign a transient pnode to an object that lacks one."""
+        if getattr(obj, "pnode", 0) == 0:
+            obj.pnode = self.transient_pnode()
+        self.analyzer.register(obj)
+
+    # -- identity records ----------------------------------------------------------
+
+    def identify_inode(self, inode: Inode, path: Optional[str] = None) -> None:
+        """Emit NAME/TYPE/TIME for a file on first provenance contact."""
+        self.adopt(inode)
+        if inode.pnode in self._identified:
+            return
+        self._identified.add(inode.pnode)
+        obj_type = ObjType.FILE if inode.volume.pass_capable else ObjType.NP_FILE
+        if inode.is_dir:
+            obj_type = ObjType.DIR
+        self.analyzer.submit(ProtoRecord(inode, Attr.TYPE, obj_type))
+        if path:
+            self.analyzer.submit(ProtoRecord(inode, Attr.NAME, path))
+        self.analyzer.submit(ProtoRecord(inode, Attr.TIME,
+                                         self.kernel.clock.now))
+
+    def identify_process(self, proc: Process) -> None:
+        """Emit TYPE/NAME/ARGV/ENV/PID for a process on first contact."""
+        self.analyzer.register(proc)
+        if proc.pnode in self._identified:
+            return
+        self._identified.add(proc.pnode)
+        self.analyzer.submit(ProtoRecord(proc, Attr.TYPE, ObjType.PROCESS))
+        if proc.argv:
+            self.analyzer.submit(ProtoRecord(proc, Attr.NAME, proc.argv[0]))
+            self.analyzer.submit(ProtoRecord(proc, Attr.ARGV, "\0".join(proc.argv)))
+        if proc.env:
+            env = "\0".join(f"{key}={value}" for key, value in sorted(proc.env.items()))
+            self.analyzer.submit(ProtoRecord(proc, Attr.ENV, env))
+        self.analyzer.submit(ProtoRecord(proc, Attr.PID, proc.pid))
+        self.analyzer.submit(ProtoRecord(proc, Attr.TIME,
+                                         self.kernel.clock.now))
+        # Environment facts system-level provenance is valued for:
+        # "the specific binaries, libraries, and kernel modules in use".
+        self.analyzer.submit(ProtoRecord(proc, Attr.KERNEL,
+                                         self.kernel.version_string))
+
+    def identify_pipe(self, pipe: Pipe) -> None:
+        """Emit TYPE for a pipe on first contact."""
+        self.analyzer.register(pipe)
+        if pipe.pnode in self._identified:
+            return
+        self._identified.add(pipe.pnode)
+        self.analyzer.submit(ProtoRecord(pipe, Attr.TYPE, ObjType.PIPE))
+
+    # -- system-call handlers (called by the interceptor) ---------------------------
+
+    def on_execve(self, proc: Process, binary: Optional[Inode],
+                  path: Optional[str]) -> None:
+        """Process executed a binary: identity + EXEC ancestry edge."""
+        self.identify_process(proc)
+        if binary is not None:
+            self.identify_inode(binary, path)
+            self.analyzer.submit(ProtoRecord(proc, Attr.EXEC, binary.ref()))
+
+    def on_fork(self, child: Process, parent: Optional[Process]) -> None:
+        """New process: identity + FORKPARENT ancestry edge."""
+        self.identify_process(child)
+        if parent is not None:
+            self.identify_process(parent)
+            self.analyzer.submit(
+                ProtoRecord(child, Attr.FORKPARENT, parent.ref())
+            )
+
+    def on_exit(self, proc: Process) -> None:
+        """Process exit.  Cached provenance stays in the distributor: a
+        descendant may yet become persistent (e.g. a pipe reader)."""
+        # Intentionally nothing to record; the hook exists for symmetry
+        # with the interceptor's syscall table and for subclasses.
+
+    def on_read(self, proc: Process, inode: Inode, path: Optional[str],
+                offset: int, length: int) -> bytes:
+        """pass_read semantics: return data plus record P -> file@version."""
+        self.identify_inode(inode, path)
+        self.identify_process(proc)
+        data = self._read_data(inode, offset, length)
+        self.analyzer.submit(ProtoRecord(proc, Attr.INPUT, inode.ref()))
+        return data
+
+    def on_write(self, proc: Process, inode: Inode, path: Optional[str],
+                 offset: int, data: Optional[bytes],
+                 length: Optional[int]) -> int:
+        """Record file -> P, then write data with its provenance (WAP)."""
+        self.identify_inode(inode, path)
+        self.identify_process(proc)
+        self._note_writer(inode, proc.pnode)
+        self.analyzer.submit(ProtoRecord(inode, Attr.INPUT, proc.ref()))
+        return self._write_data(inode, offset, data, length)
+
+    def _note_writer(self, inode: Inode, writer_pnode: int) -> None:
+        """Freeze a file that a new process starts writing."""
+        previous = self._last_writer.get(inode.pnode)
+        if previous is not None and previous != writer_pnode:
+            self.analyzer.freeze(inode)
+        self._last_writer[inode.pnode] = writer_pnode
+
+    def on_mmap(self, proc: Process, inode: Inode, path: Optional[str],
+                readable: bool, writable: bool) -> None:
+        """mmap creates dependencies in whichever directions it maps."""
+        self.identify_inode(inode, path)
+        self.identify_process(proc)
+        if readable:
+            self.analyzer.submit(ProtoRecord(proc, Attr.INPUT, inode.ref()))
+        if writable:
+            self.analyzer.submit(ProtoRecord(inode, Attr.INPUT, proc.ref()))
+
+    def on_pipe_create(self, proc: Process, pipe: Pipe) -> None:
+        """New pipe: assign identity."""
+        self.adopt(pipe)
+        self.identify_pipe(pipe)
+
+    def on_pipe_write(self, proc: Process, pipe: Pipe) -> None:
+        """pipe depends on the writing process."""
+        self.identify_pipe(pipe)
+        self.identify_process(proc)
+        self.analyzer.submit(ProtoRecord(pipe, Attr.INPUT, proc.ref()))
+
+    def on_pipe_read(self, proc: Process, pipe: Pipe) -> None:
+        """the reading process depends on the pipe."""
+        self.identify_pipe(pipe)
+        self.identify_process(proc)
+        self.analyzer.submit(ProtoRecord(proc, Attr.INPUT, pipe.ref()))
+
+    def on_drop_inode(self, inode: Inode) -> None:
+        """Last unlink: transient (non-PASS) file provenance with no
+        persistent descendants is legitimately discarded."""
+        if not inode.volume.pass_capable and inode.pnode:
+            self.distributor.discard(inode.pnode)
+            self.analyzer.forget(inode.pnode)
+
+    # -- disclosed provenance (DPAPI entry points, via libpass) ---------------------
+
+    def disclosed_records(self, proc: Optional[Process],
+                          protos: Iterable[ProtoRecord]) -> None:
+        """Accept application-disclosed records."""
+        if proc is not None:
+            self.identify_process(proc)
+        for proto in protos:
+            self.analyzer.submit(proto)
+
+    def disclosed_write(self, proc: Optional[Process], inode: Inode,
+                        path: Optional[str], offset: int,
+                        data: Optional[bytes], length: Optional[int],
+                        protos: Iterable[ProtoRecord]) -> int:
+        """DPAPI pass_write from an application: disclosed records plus
+        the kernel's own application->file dependency, plus the data."""
+        self.identify_inode(inode, path)
+        if proc is not None and (data is not None or length is not None):
+            self._note_writer(inode, proc.pnode)
+        for proto in protos:
+            self.analyzer.submit(proto)
+        if proc is not None:
+            self.identify_process(proc)
+            self.analyzer.submit(ProtoRecord(inode, Attr.INPUT, proc.ref()))
+        if data is None and length is None:
+            return 0
+        return self._write_data(inode, offset, data, length)
+
+    def mkobj(self, volume_hint: Optional[str] = None) -> PassObject:
+        """DPAPI pass_mkobj: a provenanced object above the file system."""
+        obj = PassObject(self.transient_pnode(), volume_hint)
+        self.analyzer.register(obj)
+        self._passobjs[obj.pnode] = obj
+        if volume_hint is not None:
+            self.distributor.set_hint(obj.pnode, volume_hint)
+        return obj
+
+    def reviveobj(self, pnode: int, version: int) -> PassObject:
+        """DPAPI pass_reviveobj: reattach to an earlier pass_mkobj object."""
+        obj = self._passobjs.get(pnode)
+        if obj is None:
+            raise StalePnodeVersion(
+                f"pnode {pnode} was never created by pass_mkobj here"
+            )
+        if version > obj.version:
+            raise StalePnodeVersion(
+                f"pnode {pnode} has no version {version} (latest {obj.version})"
+            )
+        return obj
+
+    def sync(self, pnode: int, volume_hint: Optional[str] = None) -> int:
+        """DPAPI pass_sync: force cached provenance to a volume."""
+        return self.distributor.sync(pnode, volume_hint)
+
+    def freeze(self, obj) -> int:
+        """DPAPI pass_freeze: explicit new version."""
+        return self.analyzer.freeze(obj)
+
+    # -- data path ----------------------------------------------------------------
+
+    def _read_data(self, inode: Inode, offset: int, length: int) -> bytes:
+        volume = inode.volume
+        top = volume.fs_top
+        if top is volume:
+            return volume.read_bytes(inode, offset, length)
+        return top.read_bytes(inode, offset, length)
+
+    def _write_data(self, inode: Inode, offset: int,
+                    data: Optional[bytes], length: Optional[int]) -> int:
+        volume = inode.volume
+        top = volume.fs_top
+        if top is volume:
+            return volume.write_bytes(inode, offset, data, length)
+        return top.write_bytes(inode, offset, data, length)

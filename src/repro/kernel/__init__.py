@@ -1,0 +1,17 @@
+"""Simulated operating-system substrate.
+
+The paper's artifact is a modified Linux kernel; here the kernel is a
+deterministic simulation: a virtual clock, a disk with an explicit
+seek/rotation/transfer cost model, a page cache, a VFS with mountable
+volumes, processes with file descriptors and pipes, and a system-call
+layer that feeds the PASSv2 interceptor.  Programs are Python callables
+executed against the syscall interface, so every provenance-relevant
+event the real kernel would see is produced here too.
+"""
+
+from repro.kernel.clock import SimClock
+from repro.kernel.disk import SimulatedDisk
+from repro.kernel.kernel import Kernel
+from repro.kernel.params import SimParams
+
+__all__ = ["Kernel", "SimClock", "SimParams", "SimulatedDisk"]

@@ -1,0 +1,367 @@
+"""The system-call layer: what simulated programs see.
+
+Each process gets a :class:`Syscalls` facade.  Calls charge the virtual
+clock (syscall entry cost, path-resolution cost, disk and cache costs via
+the volume layer) and report events to the interceptor, which forwards
+them to the PASSv2 observer when provenance collection is on.
+
+Reads and writes take the pass_read / pass_write path when provenance is
+enabled, so data and provenance move through the system together; with
+the interceptor detached, they hit the volume directly (the vanilla ext3
+baseline).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.core.errors import BadFileDescriptor, FileExists, FileNotFound
+from repro.kernel.process import (
+    DeadlockError,
+    FileDescriptor,
+    Pipe,
+    Process,
+)
+from repro.kernel.vfs import Inode
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.kernel.kernel import Kernel
+
+
+class Syscalls:
+    """Per-process system-call interface."""
+
+    def __init__(self, kernel: "Kernel", proc: Process):
+        self.kernel = kernel
+        self.proc = proc
+
+    # -- cost helpers -----------------------------------------------------------
+
+    def _enter(self, path: Optional[str] = None) -> None:
+        cpu = self.kernel.params.cpu
+        cost = cpu.syscall
+        if path:
+            cost += cpu.path_component * max(1, path.count("/"))
+        self.kernel.clock.advance(cost, "syscall_cpu")
+
+    def compute(self, seconds: float) -> None:
+        """Model userspace CPU work (not a syscall; charges the clock)."""
+        self.kernel.clock.advance(seconds, "user_cpu")
+
+    def _abspath(self, path: str) -> str:
+        if path.startswith("/"):
+            return path
+        base = self.proc.cwd.rstrip("/")
+        return f"{base}/{path}"
+
+    # -- files ---------------------------------------------------------------------
+
+    def open(self, path: str, mode: str = "r") -> int:
+        """Open a file.  Modes: 'r', 'r+', 'w' (create/truncate),
+        'a' (create/append), 'x' (exclusive create)."""
+        path = self._abspath(path)
+        self._enter(path)
+        vfs = self.kernel.vfs
+        if mode == "r":
+            inode = vfs.resolve(path)
+            fdesc = FileDescriptor(FileDescriptor.FILE, inode=inode,
+                                   readable=True, writable=False)
+        elif mode == "r+":
+            inode = vfs.resolve(path)
+            fdesc = FileDescriptor(FileDescriptor.FILE, inode=inode)
+        elif mode in ("w", "a", "x"):
+            try:
+                inode = vfs.create(path, exclusive=(mode == "x"))
+            except FileExists:
+                raise
+            if mode == "w" and inode.size:
+                inode.volume.truncate(inode, 0)
+            fdesc = FileDescriptor(FileDescriptor.FILE, inode=inode,
+                                   readable=False, writable=True,
+                                   append=(mode == "a"))
+            if mode == "a":
+                fdesc.offset = inode.size
+        else:
+            raise ValueError(f"unsupported open mode: {mode!r}")
+        if inode.is_dir:
+            from repro.core.errors import IsADirectory
+            raise IsADirectory(path)
+        fdesc.path = path
+        observer = self.kernel.interceptor.event("open")
+        if observer is not None:
+            observer.identify_inode(inode, path)
+        return self.proc.install_fd(fdesc)
+
+    def close(self, fd: int) -> None:
+        """Close a descriptor."""
+        self._enter()
+        self.proc.release_fd(fd)
+
+    def read(self, fd: int, length: int = -1) -> bytes:
+        """Read from a file or pipe; -1 means "to EOF" for files."""
+        self._enter()
+        fdesc = self.proc.lookup_fd(fd)
+        if fdesc.kind == FileDescriptor.FILE:
+            if not fdesc.readable:
+                raise BadFileDescriptor(f"fd {fd} not open for reading")
+            inode = fdesc.inode
+            if length < 0:
+                length = max(0, inode.size - fdesc.offset)
+            data = self._file_read(fdesc, inode, fdesc.offset, length)
+            fdesc.offset += len(data)
+            return data
+        if fdesc.kind == FileDescriptor.PIPE_R:
+            return self._pipe_read(fdesc.pipe, length)
+        raise BadFileDescriptor(f"fd {fd} is not readable")
+
+    def pread(self, fd: int, offset: int, length: int) -> bytes:
+        """Positional read (files only); does not move the offset."""
+        self._enter()
+        fdesc = self.proc.lookup_fd(fd)
+        if fdesc.kind != FileDescriptor.FILE or not fdesc.readable:
+            raise BadFileDescriptor(f"fd {fd} not a readable file")
+        return self._file_read(fdesc, fdesc.inode, offset, length)
+
+    def readv(self, fd: int, lengths: list[int]) -> list[bytes]:
+        """Vectored read: one event per segment, like repeated read()."""
+        return [self.read(fd, length) for length in lengths]
+
+    def write(self, fd: int, data: bytes) -> int:
+        """Write real bytes at the current offset."""
+        return self._write_common(fd, data=data, length=None)
+
+    def write_hole(self, fd: int, length: int) -> int:
+        """Write synthetic (zero) bytes: full I/O cost, no byte storage.
+
+        Bulk workloads (Postmark, compile) use this so simulations stay
+        memory-light; provenance semantics are identical to write().
+        """
+        return self._write_common(fd, data=None, length=length)
+
+    def writev(self, fd: int, chunks: list[bytes]) -> int:
+        """Vectored write."""
+        return sum(self.write(fd, chunk) for chunk in chunks)
+
+    def pwrite(self, fd: int, offset: int, data: bytes) -> int:
+        """Positional write; does not move the offset."""
+        self._enter()
+        fdesc = self.proc.lookup_fd(fd)
+        if fdesc.kind != FileDescriptor.FILE or not fdesc.writable:
+            raise BadFileDescriptor(f"fd {fd} not a writable file")
+        return self._file_write(fdesc, fdesc.inode, offset, data, None)
+
+    def _write_common(self, fd: int, data: Optional[bytes],
+                      length: Optional[int]) -> int:
+        self._enter()
+        fdesc = self.proc.lookup_fd(fd)
+        if fdesc.kind == FileDescriptor.FILE:
+            if not fdesc.writable:
+                raise BadFileDescriptor(f"fd {fd} not open for writing")
+            inode = fdesc.inode
+            offset = inode.size if fdesc.append else fdesc.offset
+            written = self._file_write(fdesc, inode, offset, data, length)
+            fdesc.offset = offset + written
+            return written
+        if fdesc.kind == FileDescriptor.PIPE_W:
+            return self._pipe_write(fdesc.pipe, data, length)
+        raise BadFileDescriptor(f"fd {fd} is not writable")
+
+    def _file_read(self, fdesc: FileDescriptor, inode: Inode,
+                   offset: int, length: int) -> bytes:
+        observer = self.kernel.interceptor.event("read")
+        if observer is not None:
+            return observer.on_read(self.proc, inode, fdesc.path,
+                                    offset, length)
+        return inode.volume.read_bytes(inode, offset, length)
+
+    def _file_write(self, fdesc: FileDescriptor, inode: Inode, offset: int,
+                    data: Optional[bytes], length: Optional[int]) -> int:
+        observer = self.kernel.interceptor.event("write")
+        if observer is not None:
+            return observer.on_write(self.proc, inode, fdesc.path, offset,
+                                     data, length)
+        return inode.volume.write_bytes(inode, offset, data, length)
+
+    # -- pipes -----------------------------------------------------------------------
+
+    def pipe(self) -> tuple[int, int]:
+        """Create a pipe; returns (read fd, write fd)."""
+        self._enter()
+        pipe = Pipe(pnode=0)
+        observer = self.kernel.interceptor.event("pipe")
+        if observer is not None:
+            observer.on_pipe_create(self.proc, pipe)
+        rfd = self.proc.install_fd(
+            FileDescriptor(FileDescriptor.PIPE_R, pipe=pipe,
+                           readable=True, writable=False))
+        wfd = self.proc.install_fd(
+            FileDescriptor(FileDescriptor.PIPE_W, pipe=pipe,
+                           readable=False, writable=True))
+        return rfd, wfd
+
+    def _pipe_read(self, pipe: Pipe, length: int) -> bytes:
+        if length < 0:
+            length = pipe.available
+        if pipe.available == 0 and pipe.writers > 0:
+            raise DeadlockError(
+                "read on empty pipe with live writers; run the producer "
+                "first or write the program as a generator"
+            )
+        observer = self.kernel.interceptor.event("read")
+        if observer is not None:
+            observer.on_pipe_read(self.proc, pipe)
+        return pipe.read(length)
+
+    def _pipe_write(self, pipe: Pipe, data: Optional[bytes],
+                    length: Optional[int]) -> int:
+        if data is None:
+            data = b"\0" * (length or 0)
+        observer = self.kernel.interceptor.event("write")
+        if observer is not None:
+            observer.on_pipe_write(self.proc, pipe)
+        return pipe.write(data)
+
+    def pipe_available(self, fd: int) -> int:
+        """Bytes currently buffered in a pipe (for generator programs)."""
+        fdesc = self.proc.lookup_fd(fd)
+        if fdesc.pipe is None:
+            raise BadFileDescriptor(f"fd {fd} is not a pipe")
+        return fdesc.pipe.available
+
+    # -- mmap ----------------------------------------------------------------------
+
+    def mmap(self, fd: int, readable: bool = True,
+             writable: bool = False) -> None:
+        """Map a file: records read/write dependencies up front, the way
+        the PASSv2 interceptor treats mmap."""
+        self._enter()
+        fdesc = self.proc.lookup_fd(fd)
+        if fdesc.kind != FileDescriptor.FILE:
+            raise BadFileDescriptor(f"fd {fd} is not a file")
+        observer = self.kernel.interceptor.event("mmap")
+        if observer is not None:
+            observer.on_mmap(self.proc, fdesc.inode, fdesc.path,
+                             readable, writable)
+
+    # -- metadata ---------------------------------------------------------------------
+
+    def mkdir(self, path: str) -> None:
+        """Create a directory."""
+        path = self._abspath(path)
+        self._enter(path)
+        self.kernel.vfs.mkdir(path)
+
+    def rmdir(self, path: str) -> None:
+        """Remove an empty directory."""
+        path = self._abspath(path)
+        self._enter(path)
+        self.kernel.vfs.rmdir(path)
+
+    def unlink(self, path: str) -> None:
+        """Remove a file name."""
+        path = self._abspath(path)
+        self._enter(path)
+        volume, _, _ = self.kernel.vfs.resolve_parent(path)
+        volume.journal_op()
+        self.kernel.vfs.unlink(path)
+
+    def rename(self, old: str, new: str) -> None:
+        """Rename within a volume; provenance follows the inode."""
+        old, new = self._abspath(old), self._abspath(new)
+        self._enter(old)
+        volume, _, _ = self.kernel.vfs.resolve_parent(old)
+        volume.journal_op()
+        inode = self.kernel.vfs.rename(old, new)
+        observer = self.kernel.interceptor.observer
+        if self.kernel.interceptor.enabled and observer is not None:
+            # The connection between file and provenance survives the
+            # rename automatically (it rides the inode); refresh NAME.
+            from repro.core.analyzer import ProtoRecord
+            from repro.core.records import Attr
+            observer.identify_inode(inode, None)
+            observer.analyzer.submit(ProtoRecord(inode, Attr.NAME, new))
+
+    def link(self, existing: str, new: str) -> None:
+        """Create a hard link; the new name shares the provenance."""
+        existing, new = self._abspath(existing), self._abspath(new)
+        self._enter(new)
+        volume, _, _ = self.kernel.vfs.resolve_parent(new)
+        volume.journal_op()
+        inode = self.kernel.vfs.link(existing, new)
+        observer = self.kernel.interceptor.observer
+        if self.kernel.interceptor.enabled and observer is not None:
+            from repro.core.analyzer import ProtoRecord
+            from repro.core.records import Attr
+            observer.identify_inode(inode, existing)
+            observer.analyzer.submit(ProtoRecord(inode, Attr.NAME, new))
+
+    def truncate(self, path: str, size: int = 0) -> None:
+        """Truncate by path."""
+        path = self._abspath(path)
+        self._enter(path)
+        inode = self.kernel.vfs.resolve(path)
+        inode.volume.truncate(inode, size)
+
+    def stat(self, path: str) -> dict:
+        """Minimal stat: size, kind, version, pnode."""
+        path = self._abspath(path)
+        self._enter(path)
+        inode = self.kernel.vfs.resolve(path)
+        return {
+            "size": inode.size,
+            "kind": inode.kind,
+            "version": inode.version,
+            "pnode": inode.pnode,
+            "ino": inode.ino,
+        }
+
+    def exists(self, path: str) -> bool:
+        """True when the path resolves."""
+        self._enter(path)
+        return self.kernel.vfs.exists(self._abspath(path))
+
+    def readdir(self, path: str) -> list[str]:
+        """Sorted directory listing."""
+        path = self._abspath(path)
+        self._enter(path)
+        return self.kernel.vfs.readdir(path)
+
+    # -- processes ---------------------------------------------------------------------
+
+    def spawn(self, path: str, argv: Optional[list[str]] = None,
+              env: Optional[dict[str, str]] = None,
+              stdin: Optional[int] = None,
+              stdout: Optional[int] = None) -> Process:
+        """fork + execve a registered program and run it to completion.
+
+        ``stdin``/``stdout`` are descriptor numbers in the *calling*
+        process (typically pipe ends); the child receives copies.
+        """
+        self._enter(path)
+        pass_stdin = self.proc.lookup_fd(stdin) if stdin is not None else None
+        pass_stdout = self.proc.lookup_fd(stdout) if stdout is not None else None
+        return self.kernel.run_program(
+            self._abspath(path), argv=argv, env=env, parent=self.proc,
+            stdin=pass_stdin, stdout=pass_stdout,
+        )
+
+    @property
+    def stdin(self) -> int:
+        """The fd number of the descriptor inherited as stdin."""
+        if self.proc.stdin_fd is None:
+            raise BadFileDescriptor("no stdin was passed to this process")
+        return self.proc.stdin_fd
+
+    @property
+    def stdout(self) -> int:
+        """The fd number of the descriptor inherited as stdout."""
+        if self.proc.stdout_fd is None:
+            raise BadFileDescriptor("no stdout was passed to this process")
+        return self.proc.stdout_fd
+
+    # -- DPAPI (libpass) -------------------------------------------------------------
+
+    @property
+    def dpapi(self):
+        """The user-level DPAPI (libpass) bound to this process."""
+        return self.kernel.libpass_for(self.proc)

@@ -1,0 +1,28 @@
+"""Provenance-aware NFS (paper section 6.1).
+
+A client machine mounts a PASS volume exported by a server machine.
+Both ends run full PASSv2 pipelines (the paper's analyzer-placement
+argument: only the client sees all of a process's records, only the
+server sees all of a file's records), and the NFSv4-style protocol is
+extended with the DPAPI operations::
+
+    OP_PASSREAD      read returning data + (pnode, version)
+    OP_PASSWRITE     write carrying data + provenance records
+    OP_BEGINTXN      open a provenance transaction (> 64 KB bundles)
+    OP_PASSPROV      ship one <= 64 KB chunk of records in a transaction
+    OP_PASSMKOBJ     allocate a pnode at the server
+    OP_PASSREVIVEOBJ validate a (pnode, version) and reattach
+
+Versioning is client-side: ``pass_freeze`` bumps the local version and
+attaches a FREEZE *record* (not operation -- freeze is order-sensitive
+with respect to writes, and records preserve order where operations may
+not); the server applies freezes when they arrive.  Close-to-open
+consistency means two clients can branch a version; the server detects
+the collision and notes a BRANCH_OF record.
+"""
+
+from repro.nfs.client import NFSClient
+from repro.nfs.network import Network
+from repro.nfs.server import NFSServer
+
+__all__ = ["NFSClient", "NFSServer", "Network"]

@@ -1,0 +1,46 @@
+"""Simulated LAN between NFS clients and servers.
+
+Every remote procedure call charges the shared clock one round trip
+plus wire time for the payload in both directions.  A partition flag
+lets tests fail calls (dead server / dead client)."""
+
+from __future__ import annotations
+
+from repro.core.errors import NetworkPartition
+from repro.kernel.clock import SimClock
+from repro.kernel.params import NetParams
+
+
+class Network:
+    """One LAN segment with uniform RTT and bandwidth."""
+
+    def __init__(self, clock: SimClock, params: NetParams | None = None):
+        self.clock = clock
+        self.params = params or NetParams()
+        self.partitioned = False
+        # Statistics.
+        self.calls = 0
+        self.bytes_sent = 0
+        self.bytes_received = 0
+
+    def call(self, request_bytes: int = 0, response_bytes: int = 0) -> None:
+        """Charge one RPC: RTT + payload wire time both ways."""
+        if self.partitioned:
+            raise NetworkPartition("network is partitioned")
+        self.calls += 1
+        self.bytes_sent += request_bytes
+        self.bytes_received += response_bytes
+        wire = (request_bytes + response_bytes) / self.params.bandwidth
+        self.clock.advance(self.params.rtt + wire, "network")
+
+    def chunked_calls(self, payload_bytes: int) -> int:
+        """How many <= max_block operations a payload needs (>= 1)."""
+        return max(1, -(-payload_bytes // self.params.max_block))
+
+    def partition(self) -> None:
+        """Cut the wire (fault injection)."""
+        self.partitioned = True
+
+    def heal(self) -> None:
+        """Restore the wire."""
+        self.partitioned = False

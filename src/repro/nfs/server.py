@@ -1,0 +1,263 @@
+"""The PA-NFS server: an exported PASS volume plus the DPAPI operations.
+
+The server is an ordinary PASSv2 machine (its own kernel, Lasagna,
+Waldo, analyzer -- the paper's analyzer-placement argument requires an
+analyzer on every server).  Records arriving over the wire are already
+*finalized* by the client's analyzer; the server's analyzer deduplicates
+them and its distributor routes them into the export volume's log.
+
+Transactions (section 6.1.2): provenance bundles larger than one wire
+block travel as OP_BEGINTXN / OP_PASSPROV* / OP_PASSWRITE-with-ENDTXN.
+If the client dies mid-transaction, the BEGINTXN record has no matching
+ENDTXN and Waldo orphans the whole batch -- the crash-recovery property
+the paper chose this design for.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, Optional
+
+from repro.core.errors import StaleHandle, TransactionError
+from repro.core.pnode import ObjectRef
+from repro.core.records import Attr, ProvenanceRecord
+from repro.kernel.vfs import Inode
+from repro.system import System
+
+
+def _info(inode: Inode) -> dict:
+    """Wire representation of one file's attributes."""
+    return {
+        "ino": inode.ino,
+        "kind": inode.kind,
+        "size": inode.size,
+        "pnode": inode.pnode,
+        "version": inode.version,
+    }
+
+
+class NFSServer:
+    """One export of one PASS-capable volume."""
+
+    def __init__(self, system: System, export: str = "pass"):
+        self.system = system
+        self.kernel = system.kernel
+        self.volume = self.kernel.volume(export)
+        self.op_counts: Counter[str] = Counter()
+        self.crashed = False
+        #: versions ever applied per pnode -- branch detection.
+        self._seen_versions: dict[int, set[int]] = {}
+        self._open_txns: set[int] = set()
+
+    # -- plumbing ----------------------------------------------------------------
+
+    def _op(self, name: str) -> None:
+        if self.crashed:
+            raise StaleHandle(f"server is down ({name})")
+        self.op_counts[name] += 1
+
+    def _inode(self, ino: int) -> Inode:
+        try:
+            return self.volume.inode(ino)
+        except Exception as exc:
+            raise StaleHandle(f"stale file handle {ino}") from exc
+
+    def _nfsd_stack_tax(self, nbytes: int) -> None:
+        """nfsd x stackable interaction: each page of wsize-granular RPC
+        data is copied through Lasagna's upper cache (no zero-copy)."""
+        if self.volume.lasagna is None or nbytes <= 0:
+            return
+        pages = -(-nbytes // self.volume.block_size)
+        cost = pages * self.kernel.params.net.nfsd_stack_copy
+        self.kernel.clock.advance(cost, "nfsd_stack")
+
+    @property
+    def _lasagna(self):
+        return self.volume.lasagna
+
+    @property
+    def _analyzer(self):
+        return self.kernel.analyzer
+
+    def crash(self) -> None:
+        """Server dies: in-memory state survives only where the design
+        says it must (pnodes are just numbers)."""
+        self.crashed = True
+        if self._lasagna is not None:
+            self._lasagna.crash()
+        self._open_txns.clear()
+
+    def restart(self) -> None:
+        """Server comes back up."""
+        self.crashed = False
+
+    # -- namespace operations ----------------------------------------------------------
+
+    def op_root(self) -> dict:
+        self._op("ROOT")
+        return _info(self.volume.root)
+
+    def op_lookup(self, parent_ino: int, name: str) -> Optional[dict]:
+        self._op("LOOKUP")
+        parent = self._inode(parent_ino)
+        child_ino = parent.entries.get(name) if parent.is_dir else None
+        if child_ino is None:
+            return None
+        return _info(self._inode(child_ino))
+
+    def op_readdir(self, ino: int) -> list[str]:
+        self._op("READDIR")
+        inode = self._inode(ino)
+        return sorted(inode.entries or ())
+
+    def op_create(self, kind: str) -> dict:
+        self._op("CREATE")
+        return _info(self.volume.create_inode(kind))
+
+    def op_link(self, parent_ino: int, name: str, child_ino: int) -> None:
+        self._op("LINK")
+        parent = self._inode(parent_ino)
+        parent.entries[name] = child_ino
+
+    def op_unlink_entry(self, parent_ino: int, name: str) -> None:
+        self._op("UNLINK")
+        parent = self._inode(parent_ino)
+        parent.entries.pop(name, None)
+        self.volume.journal_op()
+
+    def op_remove(self, ino: int) -> None:
+        self._op("REMOVE")
+        self.volume.drop_inode(self._inode(ino))
+
+    def op_getattr(self, ino: int) -> dict:
+        self._op("GETATTR")
+        return _info(self._inode(ino))
+
+    def op_truncate(self, ino: int, size: int) -> None:
+        self._op("SETATTR")
+        inode = self._inode(ino)
+        self.volume.fs_top.truncate(inode, size)
+
+    # -- plain data path (baseline NFS) ---------------------------------------------------
+
+    def op_read(self, ino: int, offset: int, length: int) -> bytes:
+        self._op("READ")
+        inode = self._inode(ino)
+        return self.volume.fs_top.read_bytes(inode, offset, length)
+
+    def op_write(self, ino: int, offset: int, data: Optional[bytes],
+                 length: Optional[int] = None) -> int:
+        self._op("WRITE")
+        inode = self._inode(ino)
+        return self.volume.fs_top.write_bytes(inode, offset, data, length)
+
+    # -- DPAPI operations --------------------------------------------------------------------
+
+    def op_passread(self, ino: int, offset: int,
+                    length: int) -> tuple[bytes, int, int]:
+        """Data plus the exact identity of what was read."""
+        self._op("PASSREAD")
+        inode = self._inode(ino)
+        data = self.volume.fs_top.read_bytes(inode, offset, length)
+        self._nfsd_stack_tax(len(data))
+        return data, inode.pnode, inode.version
+
+    def op_begintxn(self, subject: ObjectRef) -> int:
+        """Open a provenance transaction; records its BEGINTXN."""
+        self._op("BEGINTXN")
+        txn = self._lasagna.log.next_txn_id()
+        self._open_txns.add(txn)
+        record = ProvenanceRecord(subject, Attr.BEGINTXN, txn)
+        self._lasagna.log.append(record)
+        return txn
+
+    def op_passprov(self, txn: Optional[int],
+                    records: Iterable[ProvenanceRecord]) -> None:
+        """One chunk of a transaction's records (<= one wire block)."""
+        self._op("PASSPROV")
+        if txn is not None and txn not in self._open_txns:
+            raise TransactionError(f"unknown transaction {txn}")
+        self._apply_records(records)
+
+    def op_endtxn(self, txn: int, subject: ObjectRef) -> None:
+        """Commit a provenance-only transaction (pass_sync path)."""
+        self._op("ENDTXN")
+        if txn not in self._open_txns:
+            raise TransactionError(f"unknown transaction {txn}")
+        self._open_txns.discard(txn)
+        self._lasagna.log.append(
+            ProvenanceRecord(subject, Attr.ENDTXN, txn))
+        self._lasagna.log.flush(txn_subject=subject)
+
+    def op_passwrite(self, ino: int, offset: int, data: Optional[bytes],
+                     length: Optional[int],
+                     records: Iterable[ProvenanceRecord] = (),
+                     txn: Optional[int] = None) -> int:
+        """Data + provenance in one operation; closes ``txn`` if given."""
+        self._op("PASSWRITE")
+        inode = self._inode(ino)
+        self._nfsd_stack_tax(length if data is None else len(data or b""))
+        self._apply_records(records)
+        if txn is not None:
+            if txn not in self._open_txns:
+                raise TransactionError(f"unknown transaction {txn}")
+            self._open_txns.discard(txn)
+            self._lasagna.log.append(
+                ProvenanceRecord(inode.ref(), Attr.ENDTXN, txn))
+        return self.volume.fs_top.write_bytes(inode, offset, data, length)
+
+    def op_passmkobj(self) -> int:
+        """Allocate a pnode.  Deliberately stateless beyond the allocator:
+        'the pnode is just a number', so neither end needs crash cleanup."""
+        self._op("PASSMKOBJ")
+        return self.volume.pnodes.allocate()
+
+    def op_passreviveobj(self, pnode: int, version: int) -> bool:
+        """Validate that (pnode, version) could exist on this export."""
+        self._op("PASSREVIVEOBJ")
+        from repro.core.pnode import local_of, volume_of
+        if volume_of(pnode) != self.volume.volume_id:
+            return False
+        if local_of(pnode) >= self.volume.pnodes.high_water:
+            return False
+        seen = self._seen_versions.get(pnode)
+        newest = max(seen) if seen else 0
+        return 0 <= version <= newest
+
+    def op_commit(self) -> None:
+        """fsync-ish: force the export's log to disk and rotate it."""
+        self._op("COMMIT")
+        self._lasagna.sync()
+
+    # -- record application ----------------------------------------------------------------------
+
+    def _apply_records(self, records: Iterable[ProvenanceRecord]) -> None:
+        for record in records:
+            if record.attr == Attr.FREEZE:
+                self._apply_freeze(record)
+                continue
+            self._analyzer.submit(record)
+
+    def _apply_freeze(self, record: ProvenanceRecord) -> None:
+        """Client-side versioning arriving as a record: bump the server's
+        version; a version collision is a close-to-open branch."""
+        pnode = record.subject.pnode
+        version = int(record.value)
+        seen = self._seen_versions.setdefault(pnode, set())
+        if version in seen:
+            branch = ProvenanceRecord(
+                ObjectRef(pnode, version), Attr.BRANCH_OF,
+                ObjectRef(pnode, version - 1),
+            )
+            self._analyzer.submit(branch)
+        seen.add(version)
+        self._analyzer.submit(record)
+        inode = self._find_by_pnode(pnode)
+        if inode is not None:
+            inode.version = max(inode.version, version)
+
+    def _find_by_pnode(self, pnode: int) -> Optional[Inode]:
+        for inode in self.volume.live_inodes():
+            if inode.pnode == pnode:
+                return inode
+        return None

@@ -1,0 +1,29 @@
+"""PQL -- the Path Query Language (paper section 5.7).
+
+PQL ("pickle") derives from Lorel, the query language of Stanford's Lore
+semistructured database, adapted per the requirements the paper derived
+from shadowing computational-science users:
+
+* the basic model is paths through graphs;
+* paths are first-class language-level objects (FROM bindings);
+* path matching is by regular expressions over graph edges
+  (``input*``, ``+``, ``?``, ``{n,m}``, alternation, and the Lorel
+  extension PASSv2 needed: reverse traversal ``^input``);
+* the language has sub-queries and aggregation.
+
+The canonical example from the paper::
+
+    select Ancestor
+    from Provenance.file as Atlas
+         Atlas.input* as Ancestor
+    where Atlas.name = "atlas-x.gif"
+
+Data model: OEM -- a schema-less graph of objects holding atom values
+and named linkages (:mod:`repro.pql.oem`), built from the provenance
+databases by :class:`repro.pql.engine.QueryEngine`.
+"""
+
+from repro.pql.engine import QueryEngine
+from repro.pql.oem import OEMGraph, OEMNode
+
+__all__ = ["OEMGraph", "OEMNode", "QueryEngine"]

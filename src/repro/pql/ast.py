@@ -1,0 +1,190 @@
+"""PQL abstract syntax tree.
+
+Nodes are plain frozen dataclasses; the evaluator pattern-matches on
+their types.  A query::
+
+    select <select items>
+    from <binding> <binding> ...
+    [where <expr>]
+
+Each FROM binding is a path expression rooted either at the reserved
+root ``Provenance`` or at an earlier-bound variable, with an optional
+``as Name`` alias (required unless the path is a bare identifier).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+
+# -- path structure --------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class EdgeName:
+    """One edge label, optionally reversed (``^input``)."""
+
+    name: str
+    reverse: bool = False
+
+
+@dataclass(frozen=True)
+class EdgeAlt:
+    """Alternation of edge labels: ``(input|forkparent)``."""
+
+    options: tuple[EdgeName, ...]
+
+
+EdgeExpr = Union[EdgeName, EdgeAlt]
+
+
+@dataclass(frozen=True)
+class Quantifier:
+    """Repetition bounds for a path step; (1, 1) when absent.
+
+    ``maximum`` is None for unbounded (``*``, ``+``, ``{n,}``).
+    """
+
+    minimum: int = 1
+    maximum: Optional[int] = 1
+
+    @classmethod
+    def star(cls) -> "Quantifier":
+        return cls(0, None)
+
+    @classmethod
+    def plus(cls) -> "Quantifier":
+        return cls(1, None)
+
+    @classmethod
+    def opt(cls) -> "Quantifier":
+        return cls(0, 1)
+
+
+@dataclass(frozen=True)
+class Step:
+    """One path step: an edge expression with a quantifier."""
+
+    edge: EdgeExpr
+    quantifier: Quantifier = Quantifier()
+
+
+@dataclass(frozen=True)
+class Path:
+    """A rooted path: variable or root name, then steps."""
+
+    root: str                      # 'Provenance' or a bound variable
+    steps: tuple[Step, ...] = ()
+
+
+@dataclass(frozen=True)
+class Binding:
+    """``<path> as <name>`` in the FROM clause."""
+
+    path: Path
+    name: str
+
+
+# -- expressions --------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Literal:
+    value: object
+
+
+@dataclass(frozen=True)
+class PathValue:
+    """A path used in expression position (``Atlas.name``).
+
+    Evaluates to the multiset of atoms/nodes it reaches from the current
+    tuple; comparisons over it are existential, Lorel-style.
+    """
+
+    path: Path
+
+
+@dataclass(frozen=True)
+class Compare:
+    op: str                        # '=', '!=', '<', '<=', '>', '>='
+    left: "Expr"
+    right: "Expr"
+
+
+@dataclass(frozen=True)
+class BoolOp:
+    op: str                        # 'and' | 'or'
+    operands: tuple["Expr", ...]
+
+
+@dataclass(frozen=True)
+class Not:
+    operand: "Expr"
+
+
+@dataclass(frozen=True)
+class Arith:
+    op: str                        # '+', '-', '*', '/', '%'
+    left: "Expr"
+    right: "Expr"
+
+
+@dataclass(frozen=True)
+class Neg:
+    operand: "Expr"
+
+
+@dataclass(frozen=True)
+class Call:
+    """Aggregate or scalar function call: count(X.input), max(...)"""
+
+    name: str
+    args: tuple["Expr", ...]
+
+
+@dataclass(frozen=True)
+class InQuery:
+    """``expr in (select ...)`` -- existential membership."""
+
+    needle: "Expr"
+    query: "Query"
+
+
+@dataclass(frozen=True)
+class ExistsQuery:
+    """``exists (select ...)``."""
+
+    query: "Query"
+
+
+Expr = Union[Literal, PathValue, Compare, BoolOp, Not, Arith, Neg, Call,
+             InQuery, ExistsQuery]
+
+
+# -- queries ------------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    expr: Expr
+    alias: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class OrderBy:
+    """``order by <expr> [asc|desc]`` -- sort key for the result rows."""
+
+    expr: "Expr"
+    descending: bool = False
+
+
+@dataclass(frozen=True)
+class Query:
+    select: tuple[SelectItem, ...]
+    bindings: tuple[Binding, ...]
+    where: Optional[Expr] = None
+    distinct: bool = True          # PQL results are sets by default
+    order: Optional[OrderBy] = None
+    #: Result pruning (the paper's "information overload" concern).
+    limit: Optional[int] = None

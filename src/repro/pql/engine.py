@@ -1,0 +1,60 @@
+"""Query engine: databases -> OEM graph -> parsed-and-evaluated PQL.
+
+This is the component Waldo serves in the paper: it owns the graph built
+from one or more volumes' provenance databases (cross-volume queries are
+just a merged record stream) and runs PQL text against it.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable
+
+from repro.core.records import ProvenanceRecord
+from repro.pql.ast import Query
+from repro.pql.evaluator import Evaluator
+from repro.pql.oem import OEMGraph, OEMNode
+from repro.pql.parser import parse
+
+
+class QueryEngine:
+    """Parse + evaluate PQL over a provenance graph."""
+
+    def __init__(self, graph: OEMGraph):
+        self.graph = graph
+        self._evaluator = Evaluator(graph)
+        self._cache: dict[str, Query] = {}
+
+    @classmethod
+    def from_records(cls, records: Iterable[ProvenanceRecord]) -> "QueryEngine":
+        """Build an engine from a raw record stream."""
+        return cls(OEMGraph.build(records))
+
+    @classmethod
+    def from_databases(cls, databases) -> "QueryEngine":
+        """Build an engine over several volumes' databases at once."""
+        streams = [db.all_records() for db in databases]
+        return cls(OEMGraph.build(itertools.chain(*streams)))
+
+    def parse(self, text: str) -> Query:
+        """Parse (and cache) one query string."""
+        if text not in self._cache:
+            self._cache[text] = parse(text)
+        return self._cache[text]
+
+    def execute(self, text: str) -> list:
+        """Run a PQL query; returns rows (see Evaluator.execute)."""
+        return self._evaluator.execute(self.parse(text))
+
+    def execute_refs(self, text: str) -> list:
+        """Like :meth:`execute`, but nodes come back as ObjectRefs."""
+        out = []
+        for row in self.execute(text):
+            if isinstance(row, OEMNode):
+                out.append(row.ref)
+            elif isinstance(row, tuple):
+                out.append(tuple(cell.ref if isinstance(cell, OEMNode)
+                                 else cell for cell in row))
+            else:
+                out.append(row)
+        return out

@@ -1,0 +1,499 @@
+"""PQL evaluator: path binding, existential predicates, aggregation.
+
+Semantics follow Lorel where the paper does not override them:
+
+* a FROM binding expands the environment by one variable per reachable
+  node (nested-loop join over bindings, in order);
+* path quantifiers compute bounded/unbounded closures over edge labels,
+  ``^label`` traversing edges backwards;
+* expressions evaluate to *value sets*; comparisons are existential
+  ("some value on the left relates to some value on the right") --
+  the natural reading for multi-valued, schema-less data;
+* a bare path in WHERE is an existence test;
+* aggregate calls (count/sum/avg/min/max) aggregate per result tuple,
+  except when every select item is an aggregate, in which case they
+  aggregate over the whole binding set (``select count(F) from ...``);
+* subqueries (IN / EXISTS) see the enclosing tuple's variables
+  (correlated subqueries).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.core.errors import PQLError, PQLNameError, PQLTypeError
+from repro.pql import ast
+from repro.pql.oem import OEMGraph, OEMNode
+
+#: Environment: variable name -> OEMNode.
+Env = dict
+
+_AGGREGATES = frozenset({"count", "sum", "avg", "min", "max"})
+
+#: Scalar functions mapping each value of their argument's value set.
+_SCALARS = {
+    "len": lambda v: len(v) if isinstance(v, (str, bytes)) else None,
+    "lower": lambda v: v.lower() if isinstance(v, str) else None,
+    "upper": lambda v: v.upper() if isinstance(v, str) else None,
+    "basename": lambda v: (v.rsplit("/", 1)[-1]
+                           if isinstance(v, str) else None),
+}
+
+
+class Evaluator:
+    """Executes parsed queries against one OEM graph."""
+
+    def __init__(self, graph: OEMGraph):
+        self.graph = graph
+
+    # -- entry point -------------------------------------------------------------------
+
+    def execute(self, query: ast.Query,
+                outer: Optional[Env] = None) -> list:
+        """Run a query; returns a list of rows.
+
+        Single-item selects return a flat list of values; multi-item
+        selects return tuples.  Node values come back as
+        :class:`OEMNode`.
+        """
+        envs = self._expand_bindings(query.bindings, outer or {},
+                                     query.where)
+        if query.where is not None:
+            envs = [env for env in envs if self._truth(query.where, env)]
+
+        if query.select and all(isinstance(item.expr, ast.Call)
+                                and item.expr.name in _AGGREGATES
+                                for item in query.select):
+            row = tuple(self._aggregate_over(item.expr, envs)
+                        for item in query.select)
+            return [row[0]] if len(row) == 1 else [row]
+
+        rows: list = []
+        if query.limit == 0:
+            return rows
+        seen: set = set()
+        keyed: list[tuple] = []
+        for env in envs:
+            sort_key = (self._order_key(query.order, env)
+                        if query.order is not None else None)
+            cells = [self._select_values(item.expr, env)
+                     for item in query.select]
+            for row in _cartesian(cells):
+                value = row[0] if len(row) == 1 else tuple(row)
+                key = _dedup_key(value)
+                if query.distinct and key in seen:
+                    continue
+                seen.add(key)
+                if query.order is not None:
+                    keyed.append((sort_key, len(keyed), value))
+                    continue
+                rows.append(value)
+                if query.limit is not None and len(rows) >= query.limit:
+                    return rows
+        if query.order is not None:
+            # Python's sort is stable even with reverse=True, so ties
+            # keep their discovery order.
+            keyed.sort(key=lambda item: item[0],
+                       reverse=query.order.descending)
+            rows = [value for _, _, value in keyed]
+            if query.limit is not None:
+                rows = rows[:query.limit]
+        return rows
+
+    def _order_key(self, order: ast.OrderBy, env: Env) -> tuple:
+        """A type-ranked, totally ordered sort key for one tuple."""
+        values = self._values(order.expr, env)
+        if not values:
+            return (3, 0)                      # empty sorts last (asc)
+        return _sort_token(values[0])
+
+    # -- FROM ---------------------------------------------------------------------------
+
+    def _expand_bindings(self, bindings: Iterable[ast.Binding],
+                         outer: Env,
+                         where: Optional[ast.Expr] = None) -> list[Env]:
+        bindings = list(bindings)
+        name_filters = _equality_name_filters(where)
+        # A variable bound more than once is rebound (shadowed); pruning
+        # its earlier binding by the WHERE literal would be unsound.
+        counts: dict = {}
+        for binding in bindings:
+            counts[binding.name] = counts.get(binding.name, 0) + 1
+        name_filters = {name: literal
+                        for name, literal in name_filters.items()
+                        if counts.get(name, 0) == 1}
+        envs = [dict(outer)]
+        for binding in bindings:
+            pushdown = self._pushdown_candidates(binding, name_filters)
+            expanded: list[Env] = []
+            for env in envs:
+                nodes = (pushdown if pushdown is not None
+                         else self._path_nodes(binding.path, env))
+                for node in nodes:
+                    child = dict(env)
+                    child[binding.name] = node
+                    expanded.append(child)
+            envs = expanded
+        return envs
+
+    def _pushdown_candidates(self, binding: ast.Binding,
+                             name_filters: dict) -> Optional[list[OEMNode]]:
+        """Selection pushdown: ``Provenance.member as V`` with a
+        top-level ``V.name = "literal"`` conjunct uses the name index
+        instead of scanning the whole member class.  The WHERE clause
+        still runs afterwards, so this is purely a pruning step."""
+        literal = name_filters.get(binding.name)
+        if literal is None:
+            return None
+        path = binding.path
+        if path.root != OEMGraph.ROOT or len(path.steps) != 1:
+            return None
+        member = _single_forward_label(path.steps[0])
+        if member is None or path.steps[0].quantifier != ast.Quantifier():
+            return None
+        if member == "node":
+            return self.graph.named(literal)
+        return [node for node in self.graph.named(literal)
+                if node.type and node.type.lower() == member]
+
+    def _path_nodes(self, path: ast.Path, env: Env) -> list[OEMNode]:
+        """Nodes reachable over a FROM path."""
+        steps = list(path.steps)
+        if path.root == OEMGraph.ROOT:
+            if not steps:
+                raise PQLError("'Provenance' needs a member, e.g. "
+                               "Provenance.file")
+            first = steps.pop(0)
+            member = _single_forward_label(first)
+            if member is None or first.quantifier != ast.Quantifier():
+                raise PQLError("the first step after 'Provenance' must be "
+                               "a plain member name")
+            frontier = self.graph.members(member)
+        elif path.root in env:
+            value = env[path.root]
+            if not isinstance(value, OEMNode):
+                raise PQLTypeError(
+                    f"variable {path.root!r} is not an object"
+                )
+            frontier = [value]
+        else:
+            raise PQLNameError(f"unbound variable {path.root!r}")
+        for step in steps:
+            frontier = self._apply_step(frontier, step)
+        return frontier
+
+    def _apply_step(self, frontier: list[OEMNode],
+                    step: ast.Step) -> list[OEMNode]:
+        """Apply one edge step with its quantifier to a node frontier."""
+        minimum = step.quantifier.minimum
+        maximum = step.quantifier.maximum
+        result: dict[int, OEMNode] = {}
+        # BFS over repetition depth; visited prevents cycles from looping
+        # (the provenance graph is a DAG, but ^edges make walks revisit).
+        visited: dict[int, int] = {}
+        layer = list(frontier)
+        depth = 0
+        while layer:
+            if depth >= minimum:
+                for node in layer:
+                    result.setdefault(id(node), node)
+            if maximum is not None and depth >= maximum:
+                break
+            next_layer: list[OEMNode] = []
+            for node in layer:
+                for target in self._follow(node, step.edge):
+                    if visited.get(id(target), -1) < depth + 1:
+                        if id(target) not in visited:
+                            visited[id(target)] = depth + 1
+                            next_layer.append(target)
+            layer = next_layer
+            depth += 1
+        return list(result.values())
+
+    def _follow(self, node: OEMNode, edge: ast.EdgeExpr) -> list[OEMNode]:
+        if isinstance(edge, ast.EdgeAlt):
+            out: list[OEMNode] = []
+            for option in edge.options:
+                out.extend(self._follow(node, option))
+            return out
+        if edge.reverse:
+            return node.rin(edge.name)
+        return node.out(edge.name)
+
+    # -- expression evaluation ------------------------------------------------------------
+
+    def _values(self, expr: ast.Expr, env: Env) -> list:
+        """Evaluate an expression to its value set (list, ordered)."""
+        if isinstance(expr, ast.Literal):
+            return [expr.value]
+        if isinstance(expr, ast.PathValue):
+            return self._path_values(expr.path, env)
+        if isinstance(expr, ast.Compare):
+            return [self._compare(expr, env)]
+        if isinstance(expr, (ast.BoolOp, ast.Not)):
+            return [self._truth(expr, env)]
+        if isinstance(expr, ast.Arith):
+            return self._arith(expr, env)
+        if isinstance(expr, ast.Neg):
+            return [_numeric(-value) for value in
+                    self._values(expr.operand, env)
+                    if isinstance(value, (int, float))
+                    and not isinstance(value, bool)]
+        if isinstance(expr, ast.Call):
+            if expr.name in _SCALARS:
+                if len(expr.args) != 1:
+                    raise PQLError(f"{expr.name}() takes one argument")
+                fn = _SCALARS[expr.name]
+                return [out for value in self._values(expr.args[0], env)
+                        if (out := fn(value)) is not None]
+            return [self._call(expr, env)]
+        if isinstance(expr, ast.InQuery):
+            return [self._in_query(expr, env)]
+        if isinstance(expr, ast.ExistsQuery):
+            return [bool(self.execute(expr.query, env))]
+        raise PQLError(f"unhandled expression node: {expr!r}")
+
+    def _path_values(self, path: ast.Path, env: Env) -> list:
+        """A path in expression position: nodes *and* atoms it reaches.
+
+        All but the last step must traverse edges; the last step also
+        collects atom values of its label from the frontier.
+        """
+        if not path.steps:
+            if path.root not in env:
+                raise PQLNameError(f"unbound variable {path.root!r}")
+            return [env[path.root]]
+        frontier_path = ast.Path(path.root, path.steps[:-1])
+        frontier = self._path_nodes(frontier_path, env)
+        last = path.steps[-1]
+        values: list = []
+        if last.quantifier == ast.Quantifier():
+            label = _single_forward_label(last)
+            if label is not None:
+                for node in frontier:
+                    values.extend(node.atom(label))
+        values.extend(self._apply_step(frontier, last))
+        return values
+
+    def _truth(self, expr: ast.Expr, env: Env) -> bool:
+        """Evaluate an expression as a predicate."""
+        if isinstance(expr, ast.BoolOp):
+            if expr.op == "and":
+                return all(self._truth(op, env) for op in expr.operands)
+            return any(self._truth(op, env) for op in expr.operands)
+        if isinstance(expr, ast.Not):
+            return not self._truth(expr.operand, env)
+        if isinstance(expr, ast.Compare):
+            return self._compare(expr, env)
+        if isinstance(expr, ast.InQuery):
+            return self._in_query(expr, env)
+        if isinstance(expr, ast.ExistsQuery):
+            return bool(self.execute(expr.query, env))
+        if isinstance(expr, ast.PathValue):
+            return bool(self._values(expr, env))     # existence test
+        values = self._values(expr, env)
+        return any(bool(value) for value in values)
+
+    def _compare(self, expr: ast.Compare, env: Env) -> bool:
+        left = self._values(expr.left, env)
+        right = self._values(expr.right, env)
+        for lhs in left:
+            for rhs in right:
+                if _compare_pair(expr.op, lhs, rhs):
+                    return True
+        return False
+
+    def _arith(self, expr: ast.Arith, env: Env) -> list:
+        out: list = []
+        for lhs in self._values(expr.left, env):
+            for rhs in self._values(expr.right, env):
+                if not _is_number(lhs) or not _is_number(rhs):
+                    continue
+                out.append(_apply_arith(expr.op, lhs, rhs))
+        return out
+
+    # -- functions / aggregates ---------------------------------------------------------------
+
+    def _call(self, expr: ast.Call, env: Env):
+        if expr.name in _AGGREGATES:
+            if len(expr.args) != 1:
+                raise PQLError(f"{expr.name}() takes exactly one argument")
+            return _aggregate(expr.name, self._values(expr.args[0], env))
+        raise PQLError(f"unknown function {expr.name!r}")
+
+    def _aggregate_over(self, expr: ast.Call, envs: list[Env]):
+        """Aggregate across the whole binding set (aggregate-only select)."""
+        if len(expr.args) != 1:
+            raise PQLError(f"{expr.name}() takes exactly one argument")
+        values: list = []
+        seen: set = set()
+        for env in envs:
+            for value in self._values(expr.args[0], env):
+                key = _dedup_key(value)
+                if key in seen:
+                    continue
+                seen.add(key)
+                values.append(value)
+        return _aggregate(expr.name, values)
+
+    def _in_query(self, expr: ast.InQuery, env: Env) -> bool:
+        needles = self._values(expr.needle, env)
+        haystack = self.execute(expr.query, env)
+        hay_keys = {_dedup_key(value) for value in haystack}
+        return any(_dedup_key(needle) in hay_keys for needle in needles)
+
+    def _select_values(self, expr: ast.Expr, env: Env) -> list:
+        values = self._values(expr, env)
+        return values if values else []
+
+
+# -- helpers ------------------------------------------------------------------------------
+
+
+def _single_forward_label(step: ast.Step) -> Optional[str]:
+    if isinstance(step.edge, ast.EdgeName) and not step.edge.reverse:
+        return step.edge.name
+    return None
+
+
+def _equality_name_filters(where: Optional[ast.Expr]) -> dict:
+    """Map of variable -> string literal for top-level conjuncts of the
+    form ``Var.name = "literal"`` (either operand order)."""
+    filters: dict = {}
+    if where is None:
+        return filters
+    conjuncts = (list(where.operands)
+                 if isinstance(where, ast.BoolOp) and where.op == "and"
+                 else [where])
+    for conjunct in conjuncts:
+        if not isinstance(conjunct, ast.Compare) or conjunct.op != "=":
+            continue
+        for lhs, rhs in ((conjunct.left, conjunct.right),
+                         (conjunct.right, conjunct.left)):
+            if (isinstance(lhs, ast.PathValue)
+                    and len(lhs.path.steps) == 1
+                    and _single_forward_label(lhs.path.steps[0]) == "name"
+                    and lhs.path.steps[0].quantifier == ast.Quantifier()
+                    and isinstance(rhs, ast.Literal)
+                    and isinstance(rhs.value, str)):
+                filters[lhs.path.root] = rhs.value
+    return filters
+
+
+def _sort_token(value) -> tuple:
+    """Totally ordered key over heterogeneous values: numbers, then
+    strings, then bytes, then everything else by repr."""
+    if _is_number(value):
+        return (0, value)
+    if isinstance(value, str):
+        return (1, value)
+    if isinstance(value, bytes):
+        return (2, value)
+    if isinstance(value, OEMNode):
+        return (4, value.ref)
+    return (5, repr(value))
+
+
+def _dedup_key(value):
+    if isinstance(value, OEMNode):
+        return ("node", value.ref)
+    if isinstance(value, tuple):
+        return tuple(_dedup_key(item) for item in value)
+    return (type(value).__name__, value)
+
+
+def _is_number(value) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _numeric(value):
+    return value
+
+
+def _apply_arith(op: str, lhs, rhs):
+    if op == "+":
+        return lhs + rhs
+    if op == "-":
+        return lhs - rhs
+    if op == "*":
+        return lhs * rhs
+    if op == "/":
+        if rhs == 0:
+            raise PQLTypeError("division by zero")
+        return lhs / rhs
+    if op == "%":
+        if rhs == 0:
+            raise PQLTypeError("modulo by zero")
+        return lhs % rhs
+    raise PQLError(f"unknown arithmetic operator {op!r}")
+
+
+def _like(text, pattern) -> bool:
+    """SQL-LIKE matching: ``%`` any run, ``_`` one character."""
+    if not isinstance(text, str) or not isinstance(pattern, str):
+        return False
+    import re
+    regex = "".join(
+        ".*" if ch == "%" else "." if ch == "_" else re.escape(ch)
+        for ch in pattern
+    )
+    return re.fullmatch(regex, text) is not None
+
+
+def _compare_pair(op: str, lhs, rhs) -> bool:
+    if op == "like":
+        return _like(lhs, rhs)
+    if isinstance(lhs, OEMNode) or isinstance(rhs, OEMNode):
+        if op == "=":
+            return (isinstance(lhs, OEMNode) and isinstance(rhs, OEMNode)
+                    and lhs.ref == rhs.ref)
+        if op == "!=":
+            return not (isinstance(lhs, OEMNode) and isinstance(rhs, OEMNode)
+                        and lhs.ref == rhs.ref)
+        return False
+    comparable = (
+        (_is_number(lhs) and _is_number(rhs))
+        or (isinstance(lhs, str) and isinstance(rhs, str))
+        or (isinstance(lhs, bytes) and isinstance(rhs, bytes))
+        or (isinstance(lhs, bool) and isinstance(rhs, bool))
+    )
+    if not comparable:
+        return False
+    if op == "=":
+        return lhs == rhs
+    if op == "!=":
+        return lhs != rhs
+    if op == "<":
+        return lhs < rhs
+    if op == "<=":
+        return lhs <= rhs
+    if op == ">":
+        return lhs > rhs
+    if op == ">=":
+        return lhs >= rhs
+    raise PQLError(f"unknown comparison operator {op!r}")
+
+
+def _aggregate(name: str, values: list):
+    if name == "count":
+        return len(values)
+    numbers = [value for value in values if _is_number(value)]
+    if name == "sum":
+        return sum(numbers)
+    if name == "avg":
+        return sum(numbers) / len(numbers) if numbers else 0.0
+    if name == "min":
+        return min(numbers) if numbers else None
+    if name == "max":
+        return max(numbers) if numbers else None
+    raise PQLError(f"unknown aggregate {name!r}")
+
+
+def _cartesian(cells: list[list]) -> Iterable[tuple]:
+    if any(not cell for cell in cells):
+        # A tuple with an empty cell contributes nothing (Lorel drops it).
+        return
+    out = [()]
+    for cell in cells:
+        out = [row + (value,) for row in out for value in cell]
+    yield from out

@@ -1,0 +1,134 @@
+"""PQL lexer.
+
+Produces a stream of :class:`Token` with line/column positions so parse
+errors point at the offending character.  Keywords are case-insensitive
+(``SELECT`` / ``select``); identifiers are case-sensitive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.core.errors import PQLSyntaxError
+
+KEYWORDS = frozenset({
+    "select", "from", "where", "as", "and", "or", "not", "in",
+    "exists", "true", "false", "distinct", "like", "limit",
+    "order", "by", "asc", "desc",
+})
+
+#: Multi-character operators, longest first.
+_TWO_CHAR = ("<=", ">=", "!=", "==")
+_ONE_CHAR = ".*+?(){}|,<>=^-/%[]"
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token."""
+
+    kind: str          # 'ident', 'keyword', 'string', 'number', 'op', 'eof'
+    text: str
+    line: int
+    column: int
+
+    def is_keyword(self, word: str) -> bool:
+        return self.kind == "keyword" and self.text == word
+
+    def is_op(self, op: str) -> bool:
+        return self.kind == "op" and self.text == op
+
+    def __str__(self) -> str:
+        return "end of query" if self.kind == "eof" else repr(self.text)
+
+
+def tokenize(text: str) -> list[Token]:
+    """Lex a whole query; always ends with one 'eof' token."""
+    return list(_tokens(text))
+
+
+def _tokens(text: str) -> Iterator[Token]:
+    line, column = 1, 0
+    index = 0
+    length = len(text)
+    while index < length:
+        char = text[index]
+        if char == "\n":
+            line += 1
+            column = 0
+            index += 1
+            continue
+        if char in " \t\r":
+            index += 1
+            column += 1
+            continue
+        if char == "#":                      # comment to end of line
+            while index < length and text[index] != "\n":
+                index += 1
+            continue
+        start_col = column
+        if char == '"' or char == "'":
+            value, consumed = _lex_string(text, index, line, start_col)
+            yield Token("string", value, line, start_col)
+            index += consumed
+            column += consumed
+            continue
+        if char.isdigit():
+            end = index
+            seen_dot = False
+            while end < length and (text[end].isdigit()
+                                    or (text[end] == "." and not seen_dot
+                                        and end + 1 < length
+                                        and text[end + 1].isdigit())):
+                if text[end] == ".":
+                    seen_dot = True
+                end += 1
+            yield Token("number", text[index:end], line, start_col)
+            column += end - index
+            index = end
+            continue
+        if char.isalpha() or char == "_":
+            end = index
+            while end < length and (text[end].isalnum() or text[end] == "_"):
+                end += 1
+            word = text[index:end]
+            kind = "keyword" if word.lower() in KEYWORDS else "ident"
+            yield Token(kind, word.lower() if kind == "keyword" else word,
+                        line, start_col)
+            column += end - index
+            index = end
+            continue
+        two = text[index:index + 2]
+        if two in _TWO_CHAR:
+            yield Token("op", "=" if two == "==" else two, line, start_col)
+            index += 2
+            column += 2
+            continue
+        if char in _ONE_CHAR:
+            yield Token("op", char, line, start_col)
+            index += 1
+            column += 1
+            continue
+        raise PQLSyntaxError(f"unexpected character {char!r}", line, start_col)
+    yield Token("eof", "", line, column)
+
+
+def _lex_string(text: str, index: int, line: int,
+                column: int) -> tuple[str, int]:
+    quote = text[index]
+    out: list[str] = []
+    pos = index + 1
+    while pos < len(text):
+        char = text[pos]
+        if char == "\\" and pos + 1 < len(text):
+            escape = text[pos + 1]
+            out.append({"n": "\n", "t": "\t"}.get(escape, escape))
+            pos += 2
+            continue
+        if char == quote:
+            return "".join(out), pos + 1 - index
+        if char == "\n":
+            break
+        out.append(char)
+        pos += 1
+    raise PQLSyntaxError("unterminated string literal", line, column)

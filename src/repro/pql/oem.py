@@ -1,0 +1,174 @@
+"""OEM: the schema-less object graph PQL queries run over.
+
+"The data model in Lore is that of a collection of arbitrary objects,
+some holding values and some holding tables of named linkages to other
+objects" (section 5.7).  Here:
+
+* one :class:`OEMNode` per (pnode, version) seen in the databases;
+* provenance records with plain values become *atoms* (attribute name
+  lowercased: ``NAME`` -> ``name``);
+* records whose value is a cross-reference become labelled *edges*
+  (``INPUT`` -> ``input``); every edge is traversable in both
+  directions (the Lorel extension PASSv2 required);
+* identity atoms (name, type, argv, env, pid) are shared across all
+  versions of an object, so a query for ``F.name = "/pass/x"`` matches
+  every version, the way Waldo's name index behaves;
+* the reserved root ``Provenance`` exposes one member per object TYPE
+  (``Provenance.file``, ``Provenance.process``, ...) plus ``node`` for
+  everything.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable, Optional
+
+from repro.core.pnode import ObjectRef
+from repro.core.records import Attr, ProvenanceRecord
+
+#: Attributes whose atoms are shared by every version of an object.
+IDENTITY_ATTRS = frozenset({Attr.NAME, Attr.TYPE, Attr.ARGV, Attr.ENV,
+                            Attr.PID})
+
+#: Log-framing attributes that never appear in the graph.
+_FRAMING = frozenset({Attr.BEGINTXN, Attr.ENDTXN})
+
+
+class OEMNode:
+    """One object version in the graph."""
+
+    __slots__ = ("ref", "atoms", "edges", "redges")
+
+    def __init__(self, ref: ObjectRef):
+        self.ref = ref
+        #: atom label -> list of values.
+        self.atoms: dict[str, list] = defaultdict(list)
+        #: edge label -> list of target nodes.
+        self.edges: dict[str, list["OEMNode"]] = defaultdict(list)
+        #: edge label -> list of source nodes (reverse traversal).
+        self.redges: dict[str, list["OEMNode"]] = defaultdict(list)
+
+    def atom(self, label: str) -> list:
+        """Values of one atom attribute (possibly empty)."""
+        return self.atoms.get(label, [])
+
+    def out(self, label: str) -> list["OEMNode"]:
+        """Forward edge targets."""
+        return self.edges.get(label, [])
+
+    def rin(self, label: str) -> list["OEMNode"]:
+        """Reverse edge sources."""
+        return self.redges.get(label, [])
+
+    @property
+    def type(self) -> Optional[str]:
+        values = self.atom("type")
+        return values[0] if values else None
+
+    @property
+    def name(self) -> Optional[str]:
+        values = self.atom("name")
+        return values[0] if values else None
+
+    def __repr__(self) -> str:
+        label = self.name or self.type or "?"
+        return f"<OEMNode {self.ref} {label}>"
+
+
+class OEMGraph:
+    """The whole graph plus the Provenance root."""
+
+    ROOT = "Provenance"
+
+    def __init__(self) -> None:
+        self._nodes: dict[ObjectRef, OEMNode] = {}
+        self._members: dict[str, list[OEMNode]] = defaultdict(list)
+        self._by_pnode: dict[int, list[OEMNode]] = defaultdict(list)
+        self._by_name: dict[str, list[OEMNode]] = defaultdict(list)
+
+    # -- construction --------------------------------------------------------------
+
+    @classmethod
+    def build(cls, records: Iterable[ProvenanceRecord]) -> "OEMGraph":
+        """Build a graph from a stream of records."""
+        graph = cls()
+        identity: dict[int, list[tuple[str, object]]] = defaultdict(list)
+        for record in records:
+            if record.attr in _FRAMING:
+                continue
+            node = graph._node(record.subject)
+            label = record.attr.lower()
+            if isinstance(record.value, ObjectRef):
+                target = graph._node(record.value)
+                node.edges[label].append(target)
+                target.redges[label].append(node)
+            elif record.attr in IDENTITY_ATTRS:
+                identity[record.subject.pnode].append((label, record.value))
+            else:
+                node.atoms[label].append(record.value)
+        graph._apply_identity(identity)
+        graph._classify()
+        return graph
+
+    def _node(self, ref: ObjectRef) -> OEMNode:
+        node = self._nodes.get(ref)
+        if node is None:
+            node = OEMNode(ref)
+            self._nodes[ref] = node
+            self._by_pnode[ref.pnode].append(node)
+        return node
+
+    def _apply_identity(self, identity) -> None:
+        """Share identity atoms across every version of each object."""
+        for pnode, pairs in identity.items():
+            for node in self._by_pnode[pnode]:
+                for label, value in pairs:
+                    if value not in node.atoms[label]:
+                        node.atoms[label].append(value)
+
+    def _classify(self) -> None:
+        """Populate the Provenance root members from TYPE atoms, and the
+        name index the evaluator's selection pushdown uses."""
+        self._members.clear()
+        self._by_name.clear()
+        for node in self._nodes.values():
+            self._members["node"].append(node)
+            node_type = node.type
+            if node_type:
+                self._members[node_type.lower()].append(node)
+            for name in node.atom("name"):
+                if isinstance(name, str):
+                    self._by_name[name].append(node)
+
+    # -- lookups -----------------------------------------------------------------------
+
+    def members(self, name: str) -> list[OEMNode]:
+        """Nodes under one Provenance root member (e.g. 'file')."""
+        return list(self._members.get(name, ()))
+
+    def member_names(self) -> list[str]:
+        """Available root member names."""
+        return sorted(self._members)
+
+    def node(self, ref: ObjectRef) -> Optional[OEMNode]:
+        """Node for one (pnode, version), if present."""
+        return self._nodes.get(ref)
+
+    def named(self, name: str) -> list[OEMNode]:
+        """Nodes whose NAME equals ``name`` (the name index)."""
+        return list(self._by_name.get(name, ()))
+
+    def versions_of(self, pnode: int) -> list[OEMNode]:
+        """All version nodes of one object, oldest first."""
+        return sorted(self._by_pnode.get(pnode, ()),
+                      key=lambda node: node.ref.version)
+
+    def nodes(self) -> list[OEMNode]:
+        """Every node."""
+        return list(self._nodes.values())
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __repr__(self) -> str:
+        return f"<OEMGraph {len(self._nodes)} nodes>"

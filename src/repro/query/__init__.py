@@ -1,0 +1,17 @@
+"""High-level query helpers layered over PQL and the databases."""
+
+from repro.query.helpers import (
+    ancestry_of_name,
+    ancestry_refs,
+    descendant_refs,
+    explain_dependency,
+    provenance_diff,
+)
+
+__all__ = [
+    "ancestry_of_name",
+    "ancestry_refs",
+    "descendant_refs",
+    "explain_dependency",
+    "provenance_diff",
+]

@@ -1,0 +1,154 @@
+"""Convenience queries: ancestry, descendants, and provenance diffing.
+
+These wrap the common questions from the paper's use cases -- "what is
+the complete ancestry of this output?", "what descended from this
+download?", "how does the ancestry of Monday's output differ from
+Wednesday's?" -- so applications don't have to write PQL for them.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable
+
+from repro.core.pnode import ObjectRef
+from repro.core.records import Attr
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.storage.database import ProvenanceDatabase
+    from repro.system import System
+
+
+def _merged_dbs(system: "System") -> list:
+    return system.databases()
+
+
+def ancestry_refs(databases: Iterable, ref: ObjectRef,
+                  attrs: frozenset = Attr.ANCESTRY_ATTRS) -> set[ObjectRef]:
+    """Every ref transitively reachable over ancestry edges."""
+    databases = list(databases)
+    seen: set[ObjectRef] = set()
+    frontier = [ref]
+    while frontier:
+        node = frontier.pop()
+        for database in databases:
+            for parent in database.ancestors(node, attrs):
+                if parent not in seen:
+                    seen.add(parent)
+                    frontier.append(parent)
+    return seen
+
+
+def descendant_refs(databases: Iterable, ref: ObjectRef,
+                    attrs: frozenset = Attr.ANCESTRY_ATTRS
+                    ) -> set[ObjectRef]:
+    """Every ref that transitively depends on ``ref``.
+
+    Later versions of an object implicitly contain its earlier versions
+    (PREV_VERSION edges), so taint naturally flows across freezes.
+    """
+    databases = list(databases)
+    seen: set[ObjectRef] = set()
+    frontier = [ref]
+    while frontier:
+        node = frontier.pop()
+        for database in databases:
+            for child in database.descendants(node, attrs):
+                if child not in seen:
+                    seen.add(child)
+                    frontier.append(child)
+    return seen
+
+
+def newest_ref_by_name(databases: Iterable, name: str) -> ObjectRef:
+    """The newest version of the newest object carrying NAME == name."""
+    best: ObjectRef | None = None
+    for database in databases:
+        for ref in database.find_by_name(name):
+            latest = database.max_version(ref.pnode)
+            candidate = ObjectRef(ref.pnode, latest if latest is not None
+                                  else ref.version)
+            if best is None or candidate > best:
+                best = candidate
+    if best is None:
+        from repro.core.errors import UnknownPnode
+        raise UnknownPnode(f"no object named {name!r} in any database")
+    return best
+
+
+def ancestry_of_name(system: "System", name: str) -> set[ObjectRef]:
+    """Complete ancestry of the newest object with the given NAME."""
+    databases = _merged_dbs(system)
+    return ancestry_refs(databases, newest_ref_by_name(databases, name))
+
+
+def describe(databases: Iterable, ref: ObjectRef) -> dict:
+    """Human-oriented summary of one object version."""
+    info: dict = {"ref": ref, "attrs": {}}
+    for database in databases:
+        for record in database.records_of_version(ref):
+            info["attrs"].setdefault(record.attr, []).append(record.value)
+        # Identity lives on whichever version recorded it.
+        for record in database.records_of(ref.pnode):
+            if record.attr in (Attr.NAME, Attr.TYPE):
+                info["attrs"].setdefault(record.attr, [])
+                if record.value not in info["attrs"][record.attr]:
+                    info["attrs"][record.attr].append(record.value)
+    return info
+
+
+def explain_dependency(databases: Iterable, descendant: ObjectRef,
+                       ancestor: ObjectRef,
+                       max_paths: int = 5) -> list[list[ObjectRef]]:
+    """*Why* does ``descendant`` depend on ``ancestor``?
+
+    Returns up to ``max_paths`` dependency chains (each a list of refs
+    from descendant to ancestor, inclusive), shortest first -- the
+    evidence behind answers like "your presentation is tainted by the
+    codec because presentation <- malware-process <- codec.bin".
+    """
+    databases = list(databases)
+    if max_paths <= 0:
+        return []
+    # BFS from the descendant, keeping predecessor lists so several
+    # shortest paths can be reconstructed.
+    paths: list[list[ObjectRef]] = []
+    frontier: list[list[ObjectRef]] = [[descendant]]
+    visited_depth: dict[ObjectRef, int] = {descendant: 0}
+    while frontier and len(paths) < max_paths:
+        next_frontier: list[list[ObjectRef]] = []
+        for path in frontier:
+            node = path[-1]
+            for database in databases:
+                for parent in database.ancestors(node):
+                    if parent == ancestor:
+                        candidate = path + [parent]
+                        if candidate not in paths:
+                            paths.append(candidate)
+                            if len(paths) >= max_paths:
+                                return paths
+                        continue
+                    depth = visited_depth.get(parent)
+                    if depth is not None and depth < len(path):
+                        continue
+                    visited_depth[parent] = len(path)
+                    next_frontier.append(path + [parent])
+        frontier = next_frontier
+    return paths
+
+
+def provenance_diff(databases: Iterable, left: ObjectRef,
+                    right: ObjectRef) -> dict:
+    """How do two objects' ancestries differ?
+
+    Returns refs only in the left ancestry, only in the right, and
+    shared -- the primitive behind the paper's "why is Wednesday's
+    output different from Monday's?" use case.
+    """
+    databases = list(databases)
+    left_set = ancestry_refs(databases, left)
+    right_set = ancestry_refs(databases, right)
+    return {
+        "only_left": left_set - right_set,
+        "only_right": right_set - left_set,
+        "common": left_set & right_set,
+    }

@@ -1,0 +1,135 @@
+"""Provenance reports: human-readable ancestry trees and DOT export.
+
+The paper notes that "PQL queries, if not posed carefully, can result in
+information overload" (section 5.7).  These helpers render bounded,
+readable views of the graph: an indented ancestry tree with cycles
+impossible (the store is a DAG) and repetition folded, and a Graphviz
+DOT rendering for figures.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.core.pnode import ObjectRef
+from repro.core.records import Attr
+
+
+def _label(databases, ref: ObjectRef) -> str:
+    name = obj_type = None
+    for db in databases:
+        for record in db.records_of(ref.pnode):
+            if record.attr == Attr.NAME and name is None:
+                name = str(record.value)
+            elif record.attr == Attr.TYPE and obj_type is None:
+                obj_type = str(record.value)
+    label = name or f"pnode {ref.pnode}"
+    if obj_type:
+        label = f"{label} [{obj_type}]"
+    if ref.version:
+        label = f"{label} v{ref.version}"
+    return label
+
+
+def _parents(databases, ref: ObjectRef) -> list[ObjectRef]:
+    out: list[ObjectRef] = []
+    for db in databases:
+        for parent in db.ancestors(ref):
+            if parent not in out:
+                out.append(parent)
+    return out
+
+
+def ancestry_tree(databases: Iterable, ref: ObjectRef,
+                  max_depth: int = 8) -> str:
+    """An indented ancestry tree rooted at ``ref``.
+
+    Objects reached more than once are printed once and referenced as
+    ``(see above)`` afterwards; depth is bounded to keep output usable.
+    """
+    databases = list(databases)
+    lines: list[str] = []
+    seen: set[ObjectRef] = set()
+
+    def walk(node: ObjectRef, depth: int) -> None:
+        indent = "  " * depth
+        label = _label(databases, node)
+        if node in seen:
+            lines.append(f"{indent}{label} (see above)")
+            return
+        seen.add(node)
+        lines.append(f"{indent}{label}")
+        if depth >= max_depth:
+            parents = _parents(databases, node)
+            if parents:
+                lines.append(f"{indent}  ... ({len(parents)} ancestors "
+                             f"beyond depth limit)")
+            return
+        for parent in _parents(databases, node):
+            walk(parent, depth + 1)
+
+    walk(ref, 0)
+    return "\n".join(lines)
+
+
+def to_dot(databases: Iterable, roots: Iterable[ObjectRef],
+           max_nodes: int = 200,
+           direction: str = "ancestors") -> str:
+    """Graphviz DOT for the provenance reachable from ``roots``.
+
+    ``direction`` is "ancestors" (follow dependency edges) or
+    "descendants" (reverse edges -- taint view).
+    """
+    if direction not in ("ancestors", "descendants"):
+        raise ValueError(f"unknown direction {direction!r}")
+    databases = list(databases)
+    nodes: dict[ObjectRef, str] = {}
+    edges: list[tuple[ObjectRef, ObjectRef, str]] = []
+    frontier = list(roots)
+    while frontier and len(nodes) < max_nodes:
+        ref = frontier.pop(0)
+        if ref in nodes:
+            continue
+        nodes[ref] = _label(databases, ref)
+        for db in databases:
+            for record in db.records_of_version(ref):
+                if record.is_ancestry:
+                    edges.append((ref, record.value, record.attr.lower()))
+                    if direction == "ancestors":
+                        frontier.append(record.value)
+            if direction == "descendants":
+                for child, attr in db.referencing(ref):
+                    if attr in Attr.ANCESTRY_ATTRS:
+                        edges.append((child, ref, attr.lower()))
+                        frontier.append(child)
+
+    def node_id(ref: ObjectRef) -> str:
+        return f"n{ref.pnode}_{ref.version}"
+
+    lines = ["digraph provenance {", "  rankdir=BT;",
+             '  node [shape=box, fontname="Helvetica"];']
+    for ref, label in nodes.items():
+        escaped = label.replace('"', r"\"")
+        lines.append(f'  {node_id(ref)} [label="{escaped}"];')
+    for src, dst, label in edges:
+        if src in nodes and dst in nodes:
+            lines.append(f"  {node_id(src)} -> {node_id(dst)} "
+                         f'[label="{label}"];')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def summarize_object(databases: Iterable, ref: ObjectRef) -> str:
+    """One object's record sheet, formatted for humans."""
+    databases = list(databases)
+    lines = [f"object {ref.pnode} version {ref.version}",
+             f"  {_label(databases, ref)}"]
+    for db in databases:
+        for record in db.records_of_version(ref):
+            if record.attr == Attr.MD5:
+                continue
+            value = record.value
+            if isinstance(value, ObjectRef):
+                value = _label(databases, value)
+            lines.append(f"  {record.attr:14s} {value}")
+    return "\n".join(lines)

@@ -1,0 +1,22 @@
+"""Storage layer: Lasagna, the provenance log, Waldo, and the database.
+
+Lasagna (:mod:`repro.storage.lasagna`) is the provenance-aware file
+system: a stackable layer interposed above an ext3-style volume that
+implements the DPAPI alongside regular VFS calls and enforces
+write-ahead provenance (WAP) through a transactional log
+(:mod:`repro.storage.log`).
+
+Waldo (:mod:`repro.storage.waldo`) is the user-level daemon that drains
+closed log segments into the indexed provenance database
+(:mod:`repro.storage.database`) and serves the query engine.
+
+:mod:`repro.storage.recovery` replays the log after a crash, discarding
+orphaned transactions and flagging data whose checksum shows it was
+in flight when the machine died.
+"""
+
+from repro.storage.database import ProvenanceDatabase
+from repro.storage.lasagna import Lasagna
+from repro.storage.waldo import Waldo
+
+__all__ = ["Lasagna", "ProvenanceDatabase", "Waldo"]

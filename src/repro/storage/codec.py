@@ -1,0 +1,139 @@
+"""Binary codec for provenance records.
+
+The log and the database store records in a compact binary form; the
+encoded length is what the space-overhead benchmarks (paper Table 3)
+measure.  Layout of one record::
+
+    8 bytes   subject pnode (unsigned big-endian)
+    4 bytes   subject version
+    1 byte    attribute name length, then UTF-8 attribute name
+    1 byte    value type tag
+    payload   type-dependent (see TAG_* below)
+
+The codec is self-delimiting, so a log segment is just concatenated
+records; recovery walks it record by record and stops at the first
+truncated/corrupt one.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterable
+
+from repro.core.errors import LogCorruption
+from repro.core.pnode import ObjectRef
+from repro.core.records import ProvenanceRecord, Value
+
+TAG_INT = 0x01
+TAG_FLOAT = 0x02
+TAG_STR = 0x03
+TAG_BYTES = 0x04
+TAG_BOOL = 0x05
+TAG_REF = 0x06
+
+_HEAD = struct.Struct(">QI")          # pnode, version
+_REF = struct.Struct(">QI")
+_I64 = struct.Struct(">q")
+_F64 = struct.Struct(">d")
+_LEN = struct.Struct(">I")
+
+
+def encode_value(value: Value) -> bytes:
+    """Encode one record value with its type tag."""
+    # bool before int: bool is an int subclass.
+    if isinstance(value, bool):
+        return bytes([TAG_BOOL, 1 if value else 0])
+    if isinstance(value, ObjectRef):
+        return bytes([TAG_REF]) + _REF.pack(value.pnode, value.version)
+    if isinstance(value, int):
+        return bytes([TAG_INT]) + _I64.pack(value)
+    if isinstance(value, float):
+        return bytes([TAG_FLOAT]) + _F64.pack(value)
+    if isinstance(value, str):
+        raw = value.encode("utf-8")
+        return bytes([TAG_STR]) + _LEN.pack(len(raw)) + raw
+    if isinstance(value, bytes):
+        return bytes([TAG_BYTES]) + _LEN.pack(len(value)) + value
+    raise TypeError(f"unencodable value type: {type(value).__name__}")
+
+
+def decode_value(buf: bytes, offset: int) -> tuple[Value, int]:
+    """Decode one value at ``offset``; returns (value, next offset)."""
+    try:
+        tag = buf[offset]
+        offset += 1
+        if tag == TAG_BOOL:
+            return bool(buf[offset]), offset + 1
+        if tag == TAG_REF:
+            pnode, version = _REF.unpack_from(buf, offset)
+            return ObjectRef(pnode, version), offset + _REF.size
+        if tag == TAG_INT:
+            return _I64.unpack_from(buf, offset)[0], offset + _I64.size
+        if tag == TAG_FLOAT:
+            return _F64.unpack_from(buf, offset)[0], offset + _F64.size
+        if tag in (TAG_STR, TAG_BYTES):
+            (length,) = _LEN.unpack_from(buf, offset)
+            offset += _LEN.size
+            raw = buf[offset:offset + length]
+            if len(raw) != length:
+                raise LogCorruption("truncated value payload")
+            offset += length
+            if tag == TAG_STR:
+                return raw.decode("utf-8"), offset
+            return bytes(raw), offset
+    except (IndexError, struct.error) as exc:
+        raise LogCorruption(f"truncated record value: {exc}") from exc
+    raise LogCorruption(f"unknown value tag: {tag:#x}")
+
+
+def encode_record(record: ProvenanceRecord) -> bytes:
+    """Encode one record (self-delimiting)."""
+    attr_raw = record.attr.encode("utf-8")
+    if len(attr_raw) > 255:
+        raise ValueError(f"attribute name too long: {record.attr!r}")
+    return b"".join((
+        _HEAD.pack(record.subject.pnode, record.subject.version),
+        bytes([len(attr_raw)]),
+        attr_raw,
+        encode_value(record.value),
+    ))
+
+
+def decode_record(buf: bytes, offset: int = 0) -> tuple[ProvenanceRecord, int]:
+    """Decode one record at ``offset``; returns (record, next offset)."""
+    try:
+        pnode, version = _HEAD.unpack_from(buf, offset)
+        offset += _HEAD.size
+        attr_len = buf[offset]
+        offset += 1
+        attr_raw = buf[offset:offset + attr_len]
+        if len(attr_raw) != attr_len:
+            raise LogCorruption("truncated attribute name")
+        offset += attr_len
+    except (IndexError, struct.error) as exc:
+        raise LogCorruption(f"truncated record header: {exc}") from exc
+    value, offset = decode_value(buf, offset)
+    record = ProvenanceRecord(ObjectRef(pnode, version),
+                              attr_raw.decode("utf-8"), value)
+    return record, offset
+
+
+def decode_stream(buf: bytes) -> Iterable[ProvenanceRecord]:
+    """Decode concatenated records, stopping cleanly at a truncation.
+
+    Yields records up to the first undecodable point; a trailing partial
+    record (a crash mid-flush) is silently dropped, which is exactly the
+    semantics recovery wants.
+    """
+    offset = 0
+    while offset < len(buf):
+        try:
+            record, offset = decode_record(buf, offset)
+        except LogCorruption:
+            return
+        yield record
+
+
+def encoded_size(record: ProvenanceRecord) -> int:
+    """Encoded length of a record without building the bytes twice."""
+    return len(encode_record(record))

@@ -1,0 +1,223 @@
+"""The write-ahead provenance (WAP) log (section 5.6).
+
+PASSv1 wrote provenance straight into databases; that was "neither
+flexible nor scalable", so PASSv2 appends records to a log that Waldo
+later drains into the database.  The log guarantees:
+
+* **WAP ordering** -- all provenance records describing a block of data
+  reach the disk before the data does (the caller, Lasagna, flushes the
+  log before issuing the data write);
+* **transactional framing** -- each flush is wrapped in BEGINTXN/ENDTXN
+  records carrying a transaction id, and data writes contribute an MD5
+  record, so recovery can discard orphaned provenance and identify data
+  that was in flight during a crash;
+* **rotation** -- when the log exceeds a maximum size or has been
+  dormant too long, the kernel closes it and starts a new one; Waldo
+  notices (the paper uses inotify; we use a callback) and processes the
+  closed segment.
+"""
+
+from __future__ import annotations
+
+import functools
+import hashlib
+import struct
+from typing import Callable, Optional
+
+from repro.core.pnode import ObjectRef
+from repro.core.records import Attr, ProvenanceRecord
+from repro.kernel.clock import SimClock
+from repro.kernel.params import LogParams
+from repro.storage import codec
+
+_MD5_META = struct.Struct(">QI")      # offset, length preceding the digest
+
+
+#: Incremental MD5 states over all-zero prefixes, keyed by length, so a
+#: hole digest costs only the delta from the nearest shorter prefix.
+_ZERO_STATES: dict[int, "hashlib._Hash"] = {0: hashlib.md5()}
+_ZERO_CHUNK = b"\x00" * 65536
+
+
+@functools.lru_cache(maxsize=4096)
+def _zero_digest(length: int) -> bytes:
+    base = max(known for known in _ZERO_STATES if known <= length)
+    state = _ZERO_STATES[base].copy()
+    remaining = length - base
+    while remaining > 0:
+        step = min(remaining, len(_ZERO_CHUNK))
+        state.update(_ZERO_CHUNK[:step])
+        remaining -= step
+    if length not in _ZERO_STATES and len(_ZERO_STATES) < 4096:
+        _ZERO_STATES[length] = state.copy()
+    return state.digest()
+
+
+def data_digest(data: Optional[bytes], length: int) -> bytes:
+    """MD5 of a written chunk; hole writes digest as the zeros they read
+    back as, so recovery can verify either kind uniformly (the digest of
+    an N-byte hole is cached -- it only depends on N)."""
+    if data is None:
+        return _zero_digest(length)
+    return hashlib.md5(data).digest()
+
+
+def md5_value(offset: int, length: int, digest: bytes) -> bytes:
+    """Pack an MD5 record value: where the data lives plus its digest."""
+    return _MD5_META.pack(offset, length) + digest
+
+
+def md5_unpack(value: bytes) -> tuple[int, int, bytes]:
+    """Unpack an MD5 record value into (offset, length, digest)."""
+    offset, length = _MD5_META.unpack_from(value, 0)
+    return offset, length, value[_MD5_META.size:]
+
+
+class LogSegment:
+    """One closed (or in-progress) log file."""
+
+    def __init__(self, index: int):
+        self.index = index
+        self.raw = bytearray()
+        self.records: list[ProvenanceRecord] = []
+        self.closed = False
+
+    @property
+    def nbytes(self) -> int:
+        return len(self.raw)
+
+    def append(self, record: ProvenanceRecord, encoded: bytes) -> None:
+        self.raw.extend(encoded)
+        self.records.append(record)
+
+    def truncate_tail(self, nbytes: int) -> None:
+        """Crash simulation: drop the last ``nbytes`` of raw log."""
+        if nbytes <= 0:
+            return
+        del self.raw[max(0, len(self.raw) - nbytes):]
+        # Decoded record list no longer trustworthy; recovery re-decodes.
+        self.records = list(codec.decode_stream(bytes(self.raw)))
+
+
+class ProvenanceLog:
+    """Per-volume provenance log with buffering and rotation."""
+
+    def __init__(self, clock: SimClock, params: Optional[LogParams] = None,
+                 disk_write: Optional[Callable[[int], None]] = None):
+        self.clock = clock
+        self.params = params or LogParams()
+        #: Callable charging the disk for an append of N bytes; bound by
+        #: Lasagna to the volume's provenance-log region.
+        self._disk_write = disk_write or (lambda nbytes: None)
+        self._buffer: list[tuple[ProvenanceRecord, bytes]] = []
+        self._buffer_bytes = 0
+        self._next_txn = 1
+        self._segment_index = 0
+        self.current = LogSegment(self._segment_index)
+        self.closed_segments: list[LogSegment] = []
+        self._last_activity = clock.now
+        #: Called with each closed segment (Waldo's inotify stand-in).
+        self.on_segment_closed: Optional[Callable[[LogSegment], None]] = None
+        # Statistics.
+        self.records_logged = 0
+        self.bytes_logged = 0
+        self.flushes = 0
+        self.txns_opened = 0
+
+    # -- buffering --------------------------------------------------------------
+
+    def append(self, record: ProvenanceRecord) -> None:
+        """Buffer one record (not yet durable)."""
+        encoded = codec.encode_record(record)
+        self._buffer.append((record, encoded))
+        self._buffer_bytes += len(encoded)
+
+    @property
+    def buffered_records(self) -> int:
+        return len(self._buffer)
+
+    def next_txn_id(self) -> int:
+        txn = self._next_txn
+        self._next_txn += 1
+        self.txns_opened += 1
+        return txn
+
+    # -- durability ----------------------------------------------------------------
+
+    def flush(self, txn_subject: Optional[ObjectRef] = None) -> Optional[int]:
+        """Write buffered records to disk, framed as one transaction.
+
+        ``txn_subject`` labels the BEGINTXN/ENDTXN records (the file the
+        flush precedes); when the buffer is empty nothing is written and
+        None is returned, else the transaction id.
+        """
+        if not self._buffer:
+            return None
+        txn = self.next_txn_id()
+        subject = txn_subject or self._buffer[0][0].subject
+        frame_open = ProvenanceRecord(subject, Attr.BEGINTXN, txn)
+        frame_close = ProvenanceRecord(subject, Attr.ENDTXN, txn)
+        batch = [(frame_open, codec.encode_record(frame_open))]
+        batch.extend(self._buffer)
+        batch.append((frame_close, codec.encode_record(frame_close)))
+        self._buffer = []
+        self._buffer_bytes = 0
+
+        nbytes = sum(len(encoded) for _, encoded in batch)
+        self._disk_write(nbytes)
+        for record, encoded in batch:
+            self.current.append(record, encoded)
+        self.records_logged += len(batch)
+        self.bytes_logged += nbytes
+        self.flushes += 1
+        self._last_activity = self.clock.now
+        self._maybe_rotate()
+        return txn
+
+    def _maybe_rotate(self) -> None:
+        if self.current.nbytes >= self.params.max_size:
+            self.rotate()
+
+    def tick(self) -> None:
+        """Dormancy check (the kernel's periodic timer)."""
+        if (self.current.nbytes
+                and self.clock.now - self._last_activity >= self.params.dormancy):
+            self.rotate()
+
+    def rotate(self) -> Optional[LogSegment]:
+        """Close the current log file and start a new one."""
+        if not self.current.nbytes:
+            return None
+        segment = self.current
+        segment.closed = True
+        self.closed_segments.append(segment)
+        self._segment_index += 1
+        self.current = LogSegment(self._segment_index)
+        if self.on_segment_closed is not None:
+            self.on_segment_closed(segment)
+        return segment
+
+    def take_closed(self) -> list[LogSegment]:
+        """Hand all closed segments to the caller (Waldo), removing them."""
+        segments, self.closed_segments = self.closed_segments, []
+        return segments
+
+    # -- crash simulation --------------------------------------------------------------
+
+    def crash(self, drop_tail_bytes: int = 0) -> int:
+        """Simulate a machine crash.
+
+        Buffered (unflushed) records are lost; optionally the tail of the
+        current on-disk segment is torn (an in-flight sector).  Returns
+        the number of buffered records that were lost.
+        """
+        lost = len(self._buffer)
+        self._buffer = []
+        self._buffer_bytes = 0
+        if drop_tail_bytes:
+            self.current.truncate_tail(drop_tail_bytes)
+        return lost
+
+    def all_segments(self) -> list[LogSegment]:
+        """Closed segments plus the current one (recovery scans all)."""
+        return [*self.closed_segments, self.current]

@@ -1,0 +1,106 @@
+"""Waldo: the user-level daemon draining logs into the database.
+
+Waldo watches for closed log segments (the paper uses Linux inotify;
+here the log calls us back), validates the transactional framing, and
+inserts committed records into the provenance database.  Records inside
+a transaction that never saw its ENDTXN are *orphaned* -- a client or
+machine died mid-write -- and are kept aside rather than entering the
+database, exactly the recovery behaviour the NFS transaction design was
+built for (section 6.1.2).
+
+Waldo also serves reads: the query engine goes through Waldo rather
+than touching the database directly.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.records import Attr, ProvenanceRecord
+from repro.storage.database import ProvenanceDatabase
+from repro.storage.log import LogSegment, ProvenanceLog
+
+
+class Waldo:
+    """One Waldo daemon per PASS volume."""
+
+    def __init__(self, log: ProvenanceLog,
+                 database: Optional[ProvenanceDatabase] = None,
+                 name: str = "waldo"):
+        self.log = log
+        self.database = database or ProvenanceDatabase(name)
+        self.name = name
+        #: Records discarded because their transaction never committed.
+        self.orphaned: list[ProvenanceRecord] = []
+        self.segments_processed = 0
+        log.on_segment_closed = self._segment_closed
+        self._pending_segments: list[LogSegment] = []
+
+    # -- log watching -------------------------------------------------------------
+
+    def _segment_closed(self, segment: LogSegment) -> None:
+        """inotify stand-in: queue the segment for processing."""
+        self._pending_segments.append(segment)
+
+    def drain(self) -> int:
+        """Process every queued closed segment; returns records inserted.
+
+        Call :meth:`ProvenanceLog.rotate` (or Lasagna.sync) first if the
+        current segment should be included.
+        """
+        inserted = 0
+        self.log.take_closed()          # clear the log's own list
+        while self._pending_segments:
+            segment = self._pending_segments.pop(0)
+            inserted += self._process(segment)
+            self.segments_processed += 1
+        return inserted
+
+    def _process(self, segment: LogSegment) -> int:
+        """Insert a segment's committed transactions into the database."""
+        inserted = 0
+        open_txns: dict[int, list[ProvenanceRecord]] = {}
+        current_txn: Optional[int] = None
+        for record in segment.records:
+            if record.attr == Attr.BEGINTXN:
+                current_txn = int(record.value)
+                open_txns[current_txn] = []
+                continue
+            if record.attr == Attr.ENDTXN:
+                txn = int(record.value)
+                batch = open_txns.pop(txn, [])
+                self.database.insert_many(batch)
+                inserted += len(batch)
+                if current_txn == txn:
+                    current_txn = None
+                continue
+            if current_txn is not None:
+                open_txns[current_txn].append(record)
+            else:
+                # Unframed record (legacy path): insert directly.
+                self.database.insert(record)
+                inserted += 1
+        for batch in open_txns.values():
+            self.orphaned.extend(batch)
+        return inserted
+
+    # -- query service -----------------------------------------------------------------
+
+    def query_engine(self):
+        """A PQL engine over this Waldo's database: 'Waldo is also
+        responsible for accessing the database on behalf of the query
+        engine' (section 5.1)."""
+        from repro.pql.engine import QueryEngine
+        return QueryEngine.from_databases([self.database])
+
+    def query(self, text: str) -> list:
+        """Run one PQL query against this volume's provenance."""
+        return self.query_engine().execute(text)
+
+    def sizes(self) -> dict[str, int]:
+        """Database / index byte sizes (Table 3)."""
+        return self.database.sizes()
+
+    def __repr__(self) -> str:
+        return (f"<Waldo {self.name}: {len(self.database)} records, "
+                f"{len(self.orphaned)} orphaned>")

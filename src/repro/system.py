@@ -1,0 +1,162 @@
+"""One-call assembly of a provenance-aware machine.
+
+:class:`System` boots a simulated machine with PASS-enabled and plain
+volumes, attaches Lasagna and Waldo to each PASS volume, wires the
+observer/analyzer/distributor pipeline, and exposes convenience entry
+points for running programs and querying provenance.
+
+    sys_ = System.boot()
+    with sys_.process() as proc:
+        fd = proc.open("/pass/data.txt", "w")
+        proc.write(fd, b"payload")
+        proc.close(fd)
+    sys_.sync()
+    refs = sys_.find_by_name("/pass/data.txt")
+
+Booting with ``provenance=False`` produces the vanilla-ext3 baseline the
+benchmarks compare against.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Iterable, Optional
+
+from repro.core.pnode import ObjectRef
+from repro.kernel.kernel import Kernel, Program
+from repro.kernel.params import SimParams
+from repro.kernel.syscalls import Syscalls
+from repro.storage.database import ProvenanceDatabase
+from repro.storage.lasagna import Lasagna
+from repro.storage.waldo import Waldo
+
+
+class System:
+    """A booted machine: kernel + storage + provenance pipeline."""
+
+    def __init__(self, kernel: Kernel, waldos: dict[str, Waldo],
+                 provenance: bool):
+        self.kernel = kernel
+        self.waldos = waldos
+        self.provenance = provenance
+        self._query_engine = None
+
+    # -- construction ----------------------------------------------------------------
+
+    @classmethod
+    def boot(cls, params: Optional[SimParams] = None,
+             pass_volumes: Iterable[str] = ("pass",),
+             plain_volumes: Iterable[str] = ("scratch",),
+             provenance: bool = True,
+             hostname: str = "sim",
+             clock=None) -> "System":
+        """Boot a machine.
+
+        Each name in ``pass_volumes`` becomes a PASS-enabled volume
+        mounted at ``/<name>`` with its own Lasagna and Waldo; names in
+        ``plain_volumes`` become ordinary (ext3-style) volumes.  The
+        first PASS volume hosts provenance of transient objects by
+        default.  With ``provenance=False`` the same volumes exist but
+        the interceptor stays detached (the benchmark baseline).
+        """
+        kernel = Kernel(params, hostname=hostname, clock=clock)
+        waldos: dict[str, Waldo] = {}
+        for name in pass_volumes:
+            volume = kernel.add_volume(name, f"/{name}", pass_capable=True)
+            if provenance:
+                lasagna = Lasagna(volume, kernel.params)
+                waldos[name] = Waldo(lasagna.log, name=name)
+        for name in plain_volumes:
+            kernel.add_volume(name, f"/{name}", pass_capable=False)
+        if provenance:
+            kernel.enable_provenance()
+            kernel.cache.shrink(kernel.params.cache.stack_cache_factor)
+        return cls(kernel, waldos, provenance)
+
+    # -- running programs ---------------------------------------------------------------
+
+    @contextlib.contextmanager
+    def process(self, argv: Optional[list[str]] = None):
+        """A context-managed 'shell' process for direct syscall use."""
+        syscalls = self.kernel.spawn_shell(argv or ["sh"])
+        try:
+            yield syscalls
+        finally:
+            self.kernel._reap(syscalls.proc, 0)
+
+    def register_program(self, path: str, program: Program,
+                         size: int = 102400):
+        """Install an executable file backed by a Python callable."""
+        return self.kernel.register_program(path, program, size)
+
+    def run(self, path: str, argv: Optional[list[str]] = None,
+            env: Optional[dict[str, str]] = None,
+            program: Optional[Program] = None):
+        """Run a program to completion; returns the Process."""
+        return self.kernel.run_program(path, argv=argv, env=env,
+                                       program=program)
+
+    # -- provenance plumbing -----------------------------------------------------------------
+
+    def sync(self) -> int:
+        """Flush all logs and drain all Waldos; returns records inserted."""
+        inserted = 0
+        for volume in self.kernel.pass_volumes():
+            if volume.lasagna is not None:
+                volume.lasagna.sync()
+        for waldo in self.waldos.values():
+            inserted += waldo.drain()
+        self._query_engine = None       # graph must be rebuilt
+        return inserted
+
+    def databases(self) -> list[ProvenanceDatabase]:
+        """Every volume's provenance database."""
+        return [waldo.database for waldo in self.waldos.values()]
+
+    def database(self, volume: Optional[str] = None) -> ProvenanceDatabase:
+        """One volume's database (the first PASS volume by default)."""
+        if volume is None:
+            volume = next(iter(self.waldos))
+        return self.waldos[volume].database
+
+    # -- queries --------------------------------------------------------------------------
+
+    def find_by_name(self, name: str) -> list[ObjectRef]:
+        """Refs of objects whose NAME attribute equals ``name``."""
+        refs: list[ObjectRef] = []
+        for database in self.databases():
+            refs.extend(database.find_by_name(name))
+        return refs
+
+    def query(self, text: str):
+        """Run a PQL query against the merged provenance graph."""
+        return self.query_engine().execute(text)
+
+    def query_engine(self):
+        """The (lazily built, cached) PQL engine over current data.
+
+        Call :meth:`sync` first so recent provenance reaches the
+        databases; sync invalidates the cached engine.
+        """
+        if self._query_engine is None:
+            from repro.pql.engine import QueryEngine
+            self._query_engine = QueryEngine.from_databases(self.databases())
+        return self._query_engine
+
+    def ancestry(self, name: str):
+        """All ancestor refs of the newest object named ``name``."""
+        from repro.query.helpers import ancestry_of_name
+        return ancestry_of_name(self, name)
+
+    def fsck(self):
+        """Integrity-check every volume's database (see storage.fsck)."""
+        from repro.storage.fsck import fsck
+        return fsck(self.databases())
+
+    def elapsed(self) -> float:
+        """Simulated seconds since boot."""
+        return self.kernel.clock.now
+
+    def __repr__(self) -> str:
+        mode = "PASSv2" if self.provenance else "baseline"
+        return f"<System {self.kernel.hostname} ({mode}) t={self.elapsed():.3f}s>"

@@ -1,0 +1,47 @@
+"""The paper's five evaluation workloads (section 7).
+
+1. **Linux compile** -- unpack + build a kernel tree (CPU intensive);
+2. **Postmark** -- small-file mail-server transactions (I/O intensive);
+3. **Mercurial activity** -- apply a patch series the way ``patch`` does
+   (metadata heavy: temp file, merge, rename);
+4. **Blast** -- formatdb + a long CPU-bound protein search + Perl
+   post-processing;
+5. **PA-Kepler** -- a tabular parse/extract/reformat workflow with
+   three-layer provenance collection.
+
+Each workload runs identically against the vanilla baseline, PASSv2,
+NFS, and PA-NFS configurations via :mod:`repro.workloads.base`.
+"""
+
+from repro.workloads.base import (
+    Workload,
+    WorkloadResult,
+    run_local,
+    run_nfs,
+)
+from repro.workloads.blast import BlastWorkload
+from repro.workloads.compile import CompileWorkload
+from repro.workloads.kepler_wl import KeplerWorkload
+from repro.workloads.mercurial import MercurialWorkload
+from repro.workloads.postmark import PostmarkWorkload
+
+ALL_WORKLOADS = (
+    CompileWorkload,
+    PostmarkWorkload,
+    MercurialWorkload,
+    BlastWorkload,
+    KeplerWorkload,
+)
+
+__all__ = [
+    "ALL_WORKLOADS",
+    "BlastWorkload",
+    "CompileWorkload",
+    "KeplerWorkload",
+    "MercurialWorkload",
+    "PostmarkWorkload",
+    "Workload",
+    "WorkloadResult",
+    "run_local",
+    "run_nfs",
+]

@@ -1,0 +1,101 @@
+"""The Blast workload: protein-sequence search (CPU bound).
+
+"The workload formats two input data files with a tool called formatdb,
+then processes the two files with Blast, and then massages the output
+data with a series of Perl scripts."  Nearly all the time is Blast's
+computation, so provenance overhead is in the noise (paper: 0.7%
+locally, 1.9% over NFS).
+"""
+
+from __future__ import annotations
+
+from repro.system import System
+from repro.workloads.base import Workload
+
+INPUT_BYTES = 600 * 1024
+FORMATTED_BYTES = 700 * 1024
+RAW_OUTPUT_BYTES = 2 * 1024 * 1024
+REPORT_BYTES = 64 * 1024
+CPU_FORMATDB = 0.8
+CPU_BLAST = 60.0
+CPU_PERL = 0.4
+PERL_STAGES = 3
+
+
+class BlastWorkload(Workload):
+    """formatdb x2 -> blast -> perl x3."""
+
+    name = "Blast"
+
+    def run(self, system: System, root: str) -> dict:
+        cpu = max(self.scale, 0.02)
+        self._seed_inputs(system, root)
+        for which in ("species_a", "species_b"):
+            self._formatdb(system, root, which, cpu)
+        self._blast(system, root, cpu)
+        for stage in range(PERL_STAGES):
+            self._perl(system, root, stage, cpu)
+        return {"stages": 2 + 1 + PERL_STAGES}
+
+    def _run(self, system: System, path: str, argv, program):
+        if not system.kernel.vfs.exists(path):
+            system.register_program(path, program)
+            system.run(path, argv=argv)
+        else:
+            system.run(path, argv=argv, program=program)
+
+    def _seed_inputs(self, system: System, root: str) -> None:
+        def seed(sc):
+            for which in ("species_a", "species_b"):
+                fd = sc.open(f"{root}/{which}.fasta", "w")
+                sc.write_hole(fd, INPUT_BYTES)
+                sc.close(fd)
+            return 0
+
+        self._run(system, f"{root}/bin/fetch", ["fetch"], seed)
+
+    def _formatdb(self, system: System, root: str, which: str,
+                  cpu: float) -> None:
+        def formatdb(sc):
+            fd = sc.open(f"{root}/{which}.fasta", "r")
+            sc.read(fd)
+            sc.close(fd)
+            sc.compute(CPU_FORMATDB * cpu)
+            fd = sc.open(f"{root}/{which}.pdb", "w")
+            sc.write_hole(fd, FORMATTED_BYTES)
+            sc.close(fd)
+            return 0
+
+        self._run(system, f"{root}/bin/formatdb",
+                  ["formatdb", which], formatdb)
+
+    def _blast(self, system: System, root: str, cpu: float) -> None:
+        def blast(sc):
+            for which in ("species_a", "species_b"):
+                fd = sc.open(f"{root}/{which}.pdb", "r")
+                sc.read(fd)
+                sc.close(fd)
+            sc.compute(CPU_BLAST * cpu)
+            fd = sc.open(f"{root}/blast.raw", "w")
+            sc.write_hole(fd, RAW_OUTPUT_BYTES)
+            sc.close(fd)
+            return 0
+
+        self._run(system, f"{root}/bin/blastp", ["blastp"], blast)
+
+    def _perl(self, system: System, root: str, stage: int,
+              cpu: float) -> None:
+        def perl(sc):
+            source = (f"{root}/blast.raw" if stage == 0
+                      else f"{root}/report{stage - 1}.txt")
+            fd = sc.open(source, "r")
+            sc.read(fd)
+            sc.close(fd)
+            sc.compute(CPU_PERL * cpu)
+            fd = sc.open(f"{root}/report{stage}.txt", "w")
+            sc.write_hole(fd, REPORT_BYTES)
+            sc.close(fd)
+            return 0
+
+        self._run(system, f"{root}/bin/perl{stage}",
+                  ["perl", f"massage{stage}.pl"], perl)

@@ -1,0 +1,110 @@
+"""The Linux-compile workload: unpack a source tree, then build it.
+
+CPU intensive, with bursts of file creation.  The build spawns one
+compiler process per translation unit (each reads the source file plus
+a set of headers and writes an object file), then one linker process
+that reads every object file and writes the kernel image -- the same
+process/file pattern that makes real kernel builds provenance-heavy
+(Table 3: the compile has the largest provenance database).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.system import System
+from repro.workloads.base import Workload
+
+#: Full-size knobs (paper builds Linux 2.6.19.1); scale shrinks them.
+SOURCE_FILES = 320
+SHARED_HEADERS = 24
+HEADERS_PER_FILE = 4
+SOURCE_BYTES = 9 * 1024
+HEADER_BYTES = 3 * 1024
+OBJECT_BYTES = 14 * 1024
+IMAGE_BYTES = 4 * 1024 * 1024
+CPU_PER_FILE = 0.03
+CPU_LINK = 2.0
+
+
+class CompileWorkload(Workload):
+    """Unpack + compile + link."""
+
+    name = "Linux Compile"
+
+    def run(self, system: System, root: str) -> dict:
+        rng = random.Random(self.seed)
+        nfiles = max(4, int(SOURCE_FILES * self.scale))
+        nheaders = max(2, int(SHARED_HEADERS * self.scale) or 2)
+        self._install_tools(system, root)
+        self._unpack(system, root, nfiles, nheaders)
+        for index in range(nfiles):
+            headers = sorted(rng.sample(range(nheaders),
+                                        min(HEADERS_PER_FILE, nheaders)))
+            system.run(f"{root}/bin/cc",
+                       argv=["cc", f"{root}/src/file{index}.c"],
+                       program=self._compiler(root, index, headers))
+        system.run(f"{root}/bin/ld", argv=["ld", "vmlinux"],
+                   program=self._linker(root, nfiles))
+        return {"files": nfiles, "headers": nheaders}
+
+    # -- stages ------------------------------------------------------------------
+
+    def _install_tools(self, system: System, root: str) -> None:
+        def placeholder(sc):
+            return 0
+        for tool in ("cc", "ld", "tar"):
+            path = f"{root}/bin/{tool}"
+            if not system.kernel.vfs.exists(path):
+                system.register_program(path, placeholder, size=262144)
+
+    def _unpack(self, system: System, root: str, nfiles: int,
+                nheaders: int) -> None:
+        def tar_program(sc):
+            for directory in (f"{root}/src", f"{root}/include",
+                              f"{root}/obj"):
+                if not sc.exists(directory):
+                    sc.mkdir(directory)
+            for index in range(nheaders):
+                fd = sc.open(f"{root}/include/header{index}.h", "w")
+                sc.write_hole(fd, HEADER_BYTES)
+                sc.close(fd)
+            for index in range(nfiles):
+                fd = sc.open(f"{root}/src/file{index}.c", "w")
+                sc.write_hole(fd, SOURCE_BYTES)
+                sc.close(fd)
+            return 0
+
+        system.run(f"{root}/bin/tar", argv=["tar", "xf", "linux.tar"],
+                   program=tar_program)
+
+    def _compiler(self, root: str, index: int, headers: list[int]):
+        def cc_program(sc):
+            fd = sc.open(f"{root}/src/file{index}.c", "r")
+            sc.read(fd)
+            sc.close(fd)
+            for header in headers:
+                fd = sc.open(f"{root}/include/header{header}.h", "r")
+                sc.read(fd)
+                sc.close(fd)
+            sc.compute(CPU_PER_FILE)
+            fd = sc.open(f"{root}/obj/file{index}.o", "w")
+            sc.write_hole(fd, OBJECT_BYTES)
+            sc.close(fd)
+            return 0
+
+        return cc_program
+
+    def _linker(self, root: str, nfiles: int):
+        def ld_program(sc):
+            for index in range(nfiles):
+                fd = sc.open(f"{root}/obj/file{index}.o", "r")
+                sc.read(fd)
+                sc.close(fd)
+            sc.compute(CPU_LINK * max(self.scale, 0.05))
+            fd = sc.open(f"{root}/vmlinux", "w")
+            sc.write_hole(fd, int(IMAGE_BYTES * max(self.scale, 0.05)))
+            sc.close(fd)
+            return 0
+
+        return ld_program

@@ -1,0 +1,101 @@
+"""Postmark: the mail-server workload (I/O intensive).
+
+Paper parameters: 1500 transactions over 1500 files of 4 KB - 1 MB in
+10 subdirectories.  Transactions are the standard Postmark mix: half
+read-or-append, half create-or-delete.  The paper attributes PASSv2's
+Postmark overhead to Lasagna's stackable double buffering, and PA-NFS's
+larger overhead to the same effect over the wire -- both modelled by the
+page-copy cost and cache-halving in :mod:`repro.kernel.cache`.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.system import System
+from repro.workloads.base import Workload
+
+FILES = 1500
+TRANSACTIONS = 1500
+SUBDIRS = 10
+MIN_BYTES = 4 * 1024
+MAX_BYTES = 1024 * 1024
+
+
+class PostmarkWorkload(Workload):
+    """Create a pool of files, run the transaction mix, delete the rest."""
+
+    name = "Postmark"
+
+    def run(self, system: System, root: str) -> dict:
+        rng = random.Random(self.seed)
+        nfiles = max(10, int(FILES * self.scale))
+        ntxns = max(10, int(TRANSACTIONS * self.scale))
+        base = f"{root}/postmark"
+        reads = writes = creates = deletes = 0
+
+        def postmark_program(sc):
+            nonlocal reads, writes, creates, deletes
+            if not sc.exists(base):
+                sc.mkdir(base)
+            for sub in range(SUBDIRS):
+                sc.mkdir(f"{base}/s{sub}")
+            pool: list[tuple[str, int]] = []
+            serial = 0
+
+            def new_path():
+                nonlocal serial
+                serial += 1
+                return f"{base}/s{serial % SUBDIRS}/f{serial}"
+
+            # Phase 1: create the initial pool.
+            for _ in range(nfiles):
+                path = new_path()
+                size = rng.randint(MIN_BYTES, MAX_BYTES)
+                fd = sc.open(path, "w")
+                sc.write_hole(fd, size)
+                sc.close(fd)
+                pool.append((path, size))
+            # Phase 2: transactions.
+            for _ in range(ntxns):
+                if rng.random() < 0.5:
+                    # Read or append an existing file.
+                    path, size = pool[rng.randrange(len(pool))]
+                    if rng.random() < 0.5:
+                        fd = sc.open(path, "r")
+                        sc.read(fd, size)
+                        sc.close(fd)
+                        reads += 1
+                    else:
+                        fd = sc.open(path, "a")
+                        sc.write_hole(fd, rng.randint(MIN_BYTES,
+                                                      MIN_BYTES * 4))
+                        sc.close(fd)
+                        writes += 1
+                else:
+                    # Create or delete.
+                    if rng.random() < 0.5 or len(pool) < 2:
+                        path = new_path()
+                        size = rng.randint(MIN_BYTES, MAX_BYTES)
+                        fd = sc.open(path, "w")
+                        sc.write_hole(fd, size)
+                        sc.close(fd)
+                        pool.append((path, size))
+                        creates += 1
+                    else:
+                        path, _ = pool.pop(rng.randrange(len(pool)))
+                        sc.unlink(path)
+                        deletes += 1
+            # Phase 3: delete everything left.
+            for path, _ in pool:
+                sc.unlink(path)
+            return 0
+
+        path = f"{root}/bin/postmark"
+        if not system.kernel.vfs.exists(path):
+            system.register_program(path, postmark_program)
+            system.run(path, argv=["postmark"])
+        else:
+            system.run(path, argv=["postmark"], program=postmark_program)
+        return {"files": nfiles, "transactions": ntxns, "reads": reads,
+                "appends": writes, "creates": creates, "deletes": deletes}

@@ -1,0 +1,148 @@
+"""The thermography scenario (paper section 3.3).
+
+Synthetic stand-in for Iowa State's Thermography Research Group data:
+~400 experiments on 60 specimens produced XML logs relating crack
+heating to vibrational stress.  The analysis script *reads every* XML
+file to decide which to use, then uses only the matching subset --
+the property that defeats pure system-level provenance (PASS blames
+the plot on all the files) and that PA-Python resolves.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Optional
+
+from repro.apps.papython import ProvenanceTracker
+from repro.system import System
+
+EXPERIMENTS = 40
+SPECIMENS = 6
+STRESS_CLASSES = ("low", "high")
+
+
+def generate_logs(system: System, directory: str,
+                  experiments: int = EXPERIMENTS,
+                  specimens: int = SPECIMENS, seed: int = 11) -> list[str]:
+    """Write the XML experiment logs; returns their paths."""
+    rng = random.Random(seed)
+    paths = []
+
+    def acquisition(sc):
+        if not sc.exists(directory):
+            sc.mkdir(directory)
+        for index in range(experiments):
+            specimen = index % specimens
+            stress = STRESS_CLASSES[rng.randrange(2)]
+            crack_length = round(rng.uniform(0.5, 9.5), 3)
+            heating = round(crack_length * (1.8 if stress == "high"
+                                            else 0.7)
+                            + rng.uniform(-0.1, 0.1), 4)
+            xml = (
+                "<experiment>\n"
+                f"  <id>{index}</id>\n"
+                f"  <specimen>{specimen}</specimen>\n"
+                f"  <stress_class>{stress}</stress_class>\n"
+                f"  <crack_length>{crack_length}</crack_length>\n"
+                f"  <heating>{heating}</heating>\n"
+                "</experiment>\n"
+            )
+            path = f"{directory}/exp{index:03d}.xml"
+            fd = sc.open(path, "w")
+            sc.write(fd, xml.encode())
+            sc.close(fd)
+            paths.append(path)
+        return 0
+
+    program_path = f"{directory.rsplit('/', 1)[0] or ''}/bin/daq"
+    if not system.kernel.vfs.exists(program_path):
+        system.register_program(program_path, acquisition)
+        system.run(program_path, argv=["daq"])
+    else:
+        system.run(program_path, argv=["daq"], program=acquisition)
+    return paths
+
+
+def parse_xml(data: bytes) -> dict:
+    """Tiny field extractor for the experiment logs."""
+    out = {}
+    for line in data.decode().splitlines():
+        line = line.strip()
+        if line.startswith("<") and not line.startswith("</") \
+                and not line.startswith("<experiment"):
+            tag = line[1:line.index(">")]
+            value = line[line.index(">") + 1:line.rindex("<")]
+            out[tag] = value
+    return out
+
+
+def crack_heating_curve(*docs: dict) -> bytes:
+    """The calculation routine: crack heating vs crack length.
+
+    Takes the selected experiment documents as arguments so each one is
+    a distinct, individually tracked input of the invocation."""
+    rows = sorted(
+        (float(doc["crack_length"]), float(doc["heating"]))
+        for doc in docs
+    )
+    lines = [f"{length:.3f}\t{heating:.4f}" for length, heating in rows]
+    return ("\n".join(lines) + "\n").encode()
+
+
+def buggy_crack_heating_curve(*docs: dict) -> bytes:
+    """The post-library-upgrade routine with the estimation bug."""
+    rows = sorted(
+        (float(doc["crack_length"]), float(doc["heating"]) * 0.0)
+        for doc in docs
+    )
+    lines = [f"{length:.3f}\t{heating:.4f}" for length, heating in rows]
+    return ("\n".join(lines) + "\n").encode()
+
+
+def run_analysis(system: System, data_dir: str, plot_path: str,
+                 stress_class: str = "high",
+                 calc: Optional[Callable] = None,
+                 library_path: Optional[str] = None) -> dict:
+    """The PA-Python analysis script.
+
+    Reads *all* the XML logs (so the PASS layer sees every file as an
+    input), selects only those matching ``stress_class``, runs the
+    (wrapped) calculation routine over them, and writes the plot.
+    ``library_path``, if given, is read at 'import' time so the PASS
+    layer records which library version the run used (the process-
+    validation use case)."""
+    calc = calc or crack_heating_curve
+    stats: dict = {}
+
+    def analysis(sc):
+        tracker = ProvenanceTracker(sc)
+        parse = tracker.wrap_function(parse_xml, name="parse_xml")
+        curve = tracker.wrap_function(calc, name="crack_heating")
+        if library_path is not None:
+            fd = sc.open(library_path, "r")
+            sc.read(fd)
+            sc.close(fd)
+        used = []
+        total = 0
+        for name in sc.readdir(data_dir):
+            if not name.endswith(".xml"):
+                continue
+            total += 1
+            doc = tracker.read_file(f"{data_dir}/{name}")
+            parsed = parse(doc)
+            if parsed.value["stress_class"] == stress_class:
+                used.append(parsed)
+        result = curve(*used)
+        tracker.write_file(plot_path, result)
+        stats["total"] = total
+        stats["used"] = len(used)
+        return 0
+
+    program_path = "/pass/bin/analyze.py"
+    if not system.kernel.vfs.exists(program_path):
+        system.register_program(program_path, analysis)
+        system.run(program_path, argv=["python", "analyze.py"])
+    else:
+        system.run(program_path, argv=["python", "analyze.py"],
+                   program=analysis)
+    return stats

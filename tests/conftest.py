@@ -1,0 +1,54 @@
+"""Shared fixtures for the PASSv2 reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kernel.params import SimParams
+from repro.system import System
+
+
+@pytest.fixture
+def system() -> System:
+    """A provenance-enabled machine with /pass (PASS) and /scratch (plain)."""
+    return System.boot()
+
+
+@pytest.fixture
+def baseline() -> System:
+    """The same machine with provenance collection off (vanilla ext3)."""
+    return System.boot(provenance=False)
+
+
+@pytest.fixture
+def two_volume_system() -> System:
+    """A machine with two PASS volumes (distributor routing tests)."""
+    return System.boot(pass_volumes=("pass", "pass2"))
+
+
+@pytest.fixture
+def params() -> SimParams:
+    return SimParams()
+
+
+def write_file(system: System, path: str, data: bytes) -> None:
+    """Create/overwrite a file (with parent dirs) from a throwaway process."""
+    with system.process() as proc:
+        parts = path.strip("/").split("/")[:-1]
+        prefix = ""
+        for part in parts:
+            prefix += "/" + part
+            if not proc.exists(prefix):
+                proc.mkdir(prefix)
+        fd = proc.open(path, "w")
+        proc.write(fd, data)
+        proc.close(fd)
+
+
+def read_file(system: System, path: str) -> bytes:
+    """Read a whole file from a throwaway process."""
+    with system.process() as proc:
+        fd = proc.open(path, "r")
+        data = proc.read(fd)
+        proc.close(fd)
+    return data

@@ -1,0 +1,102 @@
+"""Tests for the PA-links browser cache (revalidate-or-store)."""
+
+import pytest
+
+from repro.apps.links import Browser, Web
+from repro.core.records import Attr
+
+
+def run_browser(system, web, body):
+    out = {}
+
+    def program(sc):
+        browser = Browser(sc, web, cache_dir="/pass/browser-cache")
+        out["result"] = body(browser, sc)
+        out["hits"] = browser.cache_hits
+        out["validations"] = browser.cache_validations
+        return 0
+
+    path = "/pass/bin/links"
+    if not system.kernel.vfs.exists(path):
+        system.register_program(path, program)
+        system.run(path, argv=["links"])
+    else:
+        system.run(path, argv=["links"], program=program)
+    return out
+
+
+@pytest.fixture
+def web():
+    instance = Web()
+    instance.publish("http://news.example/", content=b"headline v1")
+    return instance
+
+
+class TestCacheBehavior:
+    def test_first_visit_stores(self, system, web):
+        def body(browser, sc):
+            session = browser.new_session()
+            browser.visit(session, "http://news.example/")
+            return browser.cached_copy("http://news.example/")
+
+        out = run_browser(system, web, body)
+        assert out["result"] == b"headline v1"
+        assert out["validations"] == 0
+
+    def test_revisit_validates_and_hits(self, system, web):
+        def body(browser, sc):
+            session = browser.new_session()
+            browser.visit(session, "http://news.example/")
+            browser.visit(session, "http://news.example/")
+            return None
+
+        out = run_browser(system, web, body)
+        assert out["validations"] == 1
+        assert out["hits"] == 1
+
+    def test_changed_page_invalidates(self, system, web):
+        def body(browser, sc):
+            session = browser.new_session()
+            browser.visit(session, "http://news.example/")
+            web.compromise("http://news.example/", b"headline v2")
+            browser.visit(session, "http://news.example/")
+            return browser.cached_copy("http://news.example/")
+
+        out = run_browser(system, web, body)
+        assert out["validations"] == 1
+        assert out["hits"] == 0
+        assert out["result"] == b"headline v2"
+
+    def test_cached_copy_survives_takedown(self, system, web):
+        def body(browser, sc):
+            session = browser.new_session()
+            browser.visit(session, "http://news.example/")
+            web.take_down("http://news.example/")
+            return browser.cached_copy("http://news.example/")
+
+        out = run_browser(system, web, body)
+        assert out["result"] == b"headline v1"
+
+    def test_cache_files_carry_provenance(self, system, web):
+        def body(browser, sc):
+            session = browser.new_session()
+            browser.visit(session, "http://news.example/")
+            return None
+
+        run_browser(system, web, body)
+        system.sync()
+        db = system.database("pass")
+        cache_urls = [r.value for r in db.all_records()
+                      if r.attr == Attr.FILE_URL]
+        assert "http://news.example/" in cache_urls
+
+    def test_no_cache_dir_disables(self, system, web):
+        def program(sc):
+            browser = Browser(sc, web)       # no cache_dir
+            session = browser.new_session()
+            browser.visit(session, "http://news.example/")
+            assert browser.cached_copy("http://news.example/") is None
+            return 0
+
+        system.register_program("/pass/bin/nocache", program)
+        system.run("/pass/bin/nocache")

@@ -1,0 +1,121 @@
+"""Provenance equivalence: the same activity on a local PASS volume and
+on a PA-NFS mount must yield the same *semantic* provenance graph.
+
+The paper's DPAPI-everywhere design means the storage location is
+transparent to provenance semantics; only pnode numbers, volumes, and
+timings differ.  We normalize the graph to (subject label, attr, value
+label) triples over ancestry-relevant records and compare.
+"""
+
+from repro.core.pnode import ObjectRef
+from repro.core.records import Attr
+from repro.kernel.clock import SimClock
+from repro.nfs import NFSClient, NFSServer
+from repro.system import System
+
+#: Attributes whose structure must be location-independent.
+SEMANTIC_ATTRS = {Attr.INPUT, Attr.EXEC, Attr.FORKPARENT, Attr.TYPE,
+                  Attr.NAME, Attr.PREV_VERSION}
+
+
+def run_scenario(system, root):
+    """A fixed multi-process scenario against ``root``."""
+    def producer(sc):
+        fd = sc.open(f"{root}/raw", "w")
+        sc.write(fd, b"line1\nline2\n")
+        sc.close(fd)
+        return 0
+
+    def transformer(sc):
+        fd = sc.open(f"{root}/raw", "r")
+        data = sc.read(fd)
+        sc.close(fd)
+        out = sc.open(f"{root}/cooked", "w")
+        sc.write(out, data.upper())
+        sc.close(out)
+        # Read-modify-write to force a freeze.
+        fd = sc.open(f"{root}/cooked", "r+")
+        sc.read(fd)
+        sc.write(fd, b"COOKED!")
+        sc.close(fd)
+        return 0
+
+    system.register_program(f"{root}/bin/producer", producer)
+    system.register_program(f"{root}/bin/transformer", transformer)
+    system.run(f"{root}/bin/producer", argv=["producer"])
+    system.run(f"{root}/bin/transformer", argv=["transformer"])
+
+
+def normalized_graph(databases, strip_prefix):
+    """Location-independent triples: labels instead of pnode numbers."""
+    labels: dict[int, str] = {}
+    for db in databases:
+        for record in db.all_records():
+            if record.attr == Attr.NAME:
+                name = str(record.value)
+                for prefix in strip_prefix:
+                    if name.startswith(prefix):
+                        name = "<root>" + name[len(prefix):]
+                labels.setdefault(record.subject.pnode, name)
+    triples = set()
+    for db in databases:
+        for record in db.all_records():
+            if record.attr not in SEMANTIC_ATTRS:
+                continue
+            subject = (labels.get(record.subject.pnode,
+                                  f"?{record.subject.pnode}"),
+                       record.subject.version)
+            if isinstance(record.value, ObjectRef):
+                value = (labels.get(record.value.pnode,
+                                    f"?{record.value.pnode}"),
+                         record.value.version)
+            else:
+                value = str(record.value)
+                for prefix in strip_prefix:
+                    if value.startswith(prefix):
+                        value = "<root>" + value[len(prefix):]
+            triples.add((subject, record.attr, value))
+    return triples
+
+
+def test_local_and_nfs_graphs_match():
+    # Local run.
+    local = System.boot(pass_volumes=("pass",), plain_volumes=())
+    run_scenario(local, "/pass")
+    local.sync()
+    local_graph = normalized_graph(local.databases(), ["/pass"])
+
+    # NFS run of the identical scenario.
+    clock = SimClock()
+    server_sys = System.boot(hostname="server", clock=clock,
+                             pass_volumes=("export",), plain_volumes=())
+    server = NFSServer(server_sys, "export")
+    client_sys = System.boot(hostname="client", clock=clock,
+                             pass_volumes=("local",), plain_volumes=())
+    client = NFSClient(client_sys, server, mountpoint="/nfs")
+    run_scenario(client_sys, "/nfs")
+    client.sync()
+    client_sys.sync()
+    server_sys.sync()
+    nfs_graph = normalized_graph(
+        server_sys.databases() + client_sys.databases(), ["/nfs"])
+
+    # The NFS side adds NFS-only bookkeeping (e.g. FREEZE arrives as a
+    # record) but every semantic triple of the local run must be there,
+    # and vice versa.
+    missing_on_nfs = local_graph - nfs_graph
+    extra_on_nfs = nfs_graph - local_graph
+    assert not missing_on_nfs, f"missing over NFS: {missing_on_nfs}"
+    assert not extra_on_nfs, f"extra over NFS: {extra_on_nfs}"
+
+
+def test_kernel_environment_recorded():
+    system = System.boot()
+    with system.process(argv=["env-check"]) as proc:
+        fd = proc.open("/pass/f", "w")
+        proc.write(fd, b"x")
+        proc.close(fd)
+    system.sync()
+    db = system.database("pass")
+    kernels = {r.value for r in db.all_records() if r.attr == Attr.KERNEL}
+    assert kernels == {"sim-linux-2.6.23.17-pass"}

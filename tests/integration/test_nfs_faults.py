@@ -1,0 +1,106 @@
+"""PA-NFS fault injection through the real client path."""
+
+import pytest
+
+from repro.core.errors import (
+    IsADirectory,
+    NetworkPartition,
+    NotADirectory,
+    StaleHandle,
+)
+from repro.core.records import Attr
+from tests.integration.test_nfs import make_env
+
+
+class TestPartition:
+    def test_partitioned_client_cannot_write(self):
+        server_sys, server, clients = make_env()
+        client_sys, client = clients[0]
+        client.network.partition()
+        with pytest.raises(NetworkPartition):
+            with client_sys.process() as proc:
+                fd = proc.open("/nfs/f", "w")
+                proc.write(fd, b"x")
+
+    def test_heal_restores_service(self):
+        server_sys, server, clients = make_env()
+        client_sys, client = clients[0]
+        client.network.partition()
+        client.network.heal()
+        with client_sys.process() as proc:
+            fd = proc.open("/nfs/f", "w")
+            proc.write(fd, b"x")
+            proc.close(fd)
+        assert server_sys.kernel.vfs.exists("/export/f")
+
+
+class TestClientCrashMidWork:
+    def test_buffered_provenance_lost_but_no_garbage(self):
+        """A client that dies with records still buffered loses them;
+        the server database stays consistent (nothing half-applied)."""
+        server_sys, server, clients = make_env()
+        client_sys, client = clients[0]
+        with client_sys.process() as proc:
+            fd = proc.open("/nfs/before-crash", "w")
+            proc.write(fd, b"durable")
+            proc.close(fd)
+            # A rename leaves a fresh NAME record in the client buffer.
+            proc.rename("/nfs/before-crash", "/nfs/renamed")
+            assert client.volume.lasagna.buffered > 0
+            lost = client.crash()
+        assert lost > 0
+        server_sys.sync()
+        db = server_sys.database("export")
+        names = {r.value for r in db.all_records() if r.attr == Attr.NAME}
+        # The original write's provenance arrived; the rename's did not.
+        assert "/nfs/before-crash" in names
+        assert "/nfs/renamed" not in names
+        # But the rename itself (a metadata op) did happen server-side.
+        assert server_sys.kernel.vfs.exists("/export/renamed")
+
+    def test_server_crash_mid_session_then_restart(self):
+        server_sys, server, clients = make_env()
+        client_sys, client = clients[0]
+        with client_sys.process() as proc:
+            fd = proc.open("/nfs/early", "w")
+            proc.write(fd, b"1")
+            proc.close(fd)
+        server.crash()
+        with pytest.raises(StaleHandle):
+            with client_sys.process() as proc:
+                fd = proc.open("/nfs/during", "w")
+                proc.write(fd, b"2")
+        server.restart()
+        with client_sys.process() as proc:
+            fd = proc.open("/nfs/after", "w")
+            proc.write(fd, b"3")
+            proc.close(fd)
+        assert server_sys.kernel.vfs.exists("/export/after")
+
+
+class TestRenameSemantics:
+    def test_cannot_replace_directory_with_file(self, system):
+        with system.process() as proc:
+            proc.mkdir("/pass/dir")
+            fd = proc.open("/pass/file", "w")
+            proc.write(fd, b"x")
+            proc.close(fd)
+            with pytest.raises(IsADirectory):
+                proc.rename("/pass/file", "/pass/dir")
+
+    def test_cannot_replace_file_with_directory(self, system):
+        with system.process() as proc:
+            proc.mkdir("/pass/dir")
+            fd = proc.open("/pass/file", "w")
+            proc.write(fd, b"x")
+            proc.close(fd)
+            with pytest.raises(NotADirectory):
+                proc.rename("/pass/dir", "/pass/file")
+
+    def test_rename_onto_self_is_noop(self, system):
+        with system.process() as proc:
+            fd = proc.open("/pass/same", "w")
+            proc.write(fd, b"x")
+            proc.close(fd)
+            proc.rename("/pass/same", "/pass/same")
+            assert proc.exists("/pass/same")

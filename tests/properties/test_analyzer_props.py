@@ -1,0 +1,138 @@
+"""Property-based tests: the analyzer's core invariants.
+
+The central claim of section 5.4 is that cycle avoidance, operating on
+purely local information, keeps the provenance graph over
+(pnode, version) nodes acyclic -- for *any* stream of dependency events.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core.analyzer import Analyzer, ProtoRecord
+from repro.core.pnode import ObjectRef
+from repro.core.records import Attr
+
+N_OBJECTS = 6
+
+
+class Obj:
+    def __init__(self, pnode):
+        self.pnode = pnode
+        self.version = 0
+
+    def ref(self):
+        return ObjectRef(self.pnode, self.version)
+
+
+#: An event is "subject S records a dependency on object V".
+events = st.lists(
+    st.tuples(st.integers(0, N_OBJECTS - 1), st.integers(0, N_OBJECTS - 1)),
+    max_size=60,
+)
+
+
+def run_stream(stream):
+    out = []
+    analyzer = Analyzer(emit=out.append)
+    objects = [Obj(pnode) for pnode in range(1, N_OBJECTS + 1)]
+    for subject_index, value_index in stream:
+        subject = objects[subject_index]
+        value = objects[value_index]
+        analyzer.submit(ProtoRecord(subject, Attr.INPUT, value.ref()))
+    return analyzer, objects, out
+
+
+def assert_acyclic(records):
+    graph = {}
+    for record in records:
+        if record.is_ancestry:
+            graph.setdefault(record.subject, []).append(record.value)
+    state = {}
+
+    def visit(node):
+        state[node] = 1
+        for child in graph.get(node, ()):
+            code = state.get(child, 0)
+            assert code != 1, f"cycle through {child}"
+            if code == 0:
+                visit(child)
+        state[node] = 2
+
+    for node in list(graph):
+        if state.get(node, 0) == 0:
+            visit(node)
+
+
+@given(events)
+@settings(max_examples=400)
+def test_graph_always_acyclic(stream):
+    _, _, out = run_stream(stream)
+    assert_acyclic(out)
+
+
+@given(events)
+@settings(max_examples=300)
+def test_versions_monotonic_and_linked(stream):
+    """Every version > 0 must carry a PREV_VERSION edge to version-1."""
+    _, objects, out = run_stream(stream)
+    prev_edges = {(r.subject.pnode, r.subject.version)
+                  for r in out if r.attr == Attr.PREV_VERSION}
+    for obj in objects:
+        for version in range(1, obj.version + 1):
+            assert (obj.pnode, version) in prev_edges
+
+
+@given(events)
+@settings(max_examples=300)
+def test_dedup_never_drops_distinct_statements(stream):
+    """Replaying the admitted records through a fresh analyzer changes
+    nothing: the output is already duplicate-free and stable."""
+    _, _, out = run_stream(stream)
+    replay_out = []
+    replayer = Analyzer(emit=replay_out.append)
+    for record in out:
+        replayer.submit(record)
+    assert replay_out == out
+
+
+@given(events)
+@settings(max_examples=300)
+def test_counters_consistent(stream):
+    analyzer, _, out = run_stream(stream)
+    assert analyzer.records_out == len(out)
+    assert analyzer.records_in == len(stream)
+    # Every submitted record was either admitted or deduplicated, and
+    # each freeze contributed exactly one extra PREV_VERSION record.
+    assert (analyzer.records_out
+            == len(stream) - analyzer.duplicates_dropped
+            + analyzer.freezes)
+    prev_edges = sum(1 for r in out if r.attr == Attr.PREV_VERSION)
+    assert prev_edges == analyzer.freezes
+
+
+@given(events)
+@settings(max_examples=200)
+def test_ancestor_sets_sound(stream):
+    """The analyzer's local ancestor sets over-approximate, never
+    under-approximate, true reachability for current versions."""
+    analyzer, objects, out = run_stream(stream)
+    graph = {}
+    for record in out:
+        if record.is_ancestry:
+            graph.setdefault(record.subject, set()).add(record.value)
+
+    def reachable(start):
+        seen = set()
+        frontier = [start]
+        while frontier:
+            node = frontier.pop()
+            for child in graph.get(node, ()):
+                if child not in seen:
+                    seen.add(child)
+                    frontier.append(child)
+        return seen
+
+    for obj in objects:
+        true_ancestry = reachable(obj.ref())
+        claimed = analyzer.ancestors_of(obj.pnode)
+        assert true_ancestry <= set(claimed) | {obj.ref()}

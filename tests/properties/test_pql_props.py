@@ -1,0 +1,116 @@
+"""Property-based tests for the PQL front end."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core.errors import PQLError, ReproError
+from repro.pql.lexer import tokenize
+from repro.pql.parser import parse
+
+identifiers = st.from_regex(r"[A-Za-z_][A-Za-z0-9_]{0,10}", fullmatch=True)
+member_names = st.sampled_from(["file", "process", "pipe", "node"])
+edge_names = st.sampled_from(["input", "forkparent", "exec", "prev_version"])
+quantifiers = st.sampled_from(["", "*", "+", "?", "{2}", "{1,3}", "{2,}"])
+
+
+@st.composite
+def queries(draw):
+    """Generate structurally valid PQL query strings."""
+    var = draw(identifiers.filter(
+        lambda name: name.lower() not in ("select", "from", "where", "as",
+                                          "and", "or", "not", "in",
+                                          "exists", "true", "false",
+                                          "distinct")))
+    member = draw(member_names)
+    edge = draw(edge_names)
+    quant = draw(quantifiers)
+    reverse = "^" if draw(st.booleans()) else ""
+    second = f"{var}2"
+    text = (f"select {second} from Provenance.{member} as {var} "
+            f"{var}.{reverse}{edge}{quant} as {second}")
+    if draw(st.booleans()):
+        literal = draw(st.integers(0, 1000))
+        text += f" where {var}.version >= {literal}"
+    return text
+
+
+@given(queries())
+@settings(max_examples=300)
+def test_generated_queries_parse(text):
+    query = parse(text)
+    assert len(query.bindings) == 2
+
+
+@given(st.text(max_size=80))
+@settings(max_examples=500)
+def test_lexer_never_crashes_unexpectedly(text):
+    """Arbitrary input either tokenizes or raises a PQL error."""
+    try:
+        tokens = tokenize(text)
+    except ReproError:
+        return
+    assert tokens[-1].kind == "eof"
+
+
+@given(st.text(max_size=80))
+@settings(max_examples=500)
+def test_parser_never_crashes_unexpectedly(text):
+    """Arbitrary input either parses or raises a PQL error -- no
+    IndexError/AttributeError escapes."""
+    try:
+        parse(text)
+    except ReproError:
+        pass
+
+
+@given(queries())
+@settings(max_examples=100)
+def test_parse_is_deterministic(text):
+    assert parse(text) == parse(text)
+
+
+@given(st.lists(st.sampled_from(
+    ['select', 'from', 'where', 'as', 'F', 'Provenance', '.', 'input',
+     '*', '(', ')', '"x"', '=', '1', ',', '^', '{', '}']),
+    max_size=15))
+@settings(max_examples=500)
+def test_token_soup_is_handled(tokens):
+    """Random sequences of legal tokens never escape the error type."""
+    try:
+        parse(" ".join(tokens))
+    except ReproError:
+        pass
+
+
+def _make_live_engine():
+    from repro.core.pnode import ObjectRef
+    from repro.core.records import Attr, ObjType, ProvenanceRecord
+    from repro.pql.engine import QueryEngine
+
+    records = []
+    for index in range(1, 20):
+        records.append(ProvenanceRecord(
+            ObjectRef(index, 0), Attr.TYPE,
+            ObjType.FILE if index % 2 else ObjType.PROCESS))
+        records.append(ProvenanceRecord(
+            ObjectRef(index, 0), Attr.NAME, f"/f{index}"))
+        if index > 1:
+            records.append(ProvenanceRecord(
+                ObjectRef(index, 0), Attr.INPUT,
+                ObjectRef(index - 1, 0)))
+    return QueryEngine.from_records(records)
+
+
+_LIVE_ENGINE = _make_live_engine()
+
+
+@given(queries())
+@settings(max_examples=300, deadline=None)
+def test_generated_queries_evaluate_without_crashing(text):
+    """Structurally valid queries either run or raise a PQL error --
+    the evaluator never leaks a raw Python exception."""
+    try:
+        rows = _LIVE_ENGINE.execute(text)
+    except ReproError:
+        return
+    assert isinstance(rows, list)

@@ -1,0 +1,109 @@
+"""Property-based tests: SparseFile against a bytearray reference model."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.kernel.vfs import SparseFile
+
+MAX_OFFSET = 4096
+MAX_LEN = 512
+
+write_op = st.tuples(st.just("write"),
+                     st.integers(0, MAX_OFFSET),
+                     st.binary(min_size=1, max_size=MAX_LEN))
+hole_op = st.tuples(st.just("hole"),
+                    st.integers(0, MAX_OFFSET),
+                    st.integers(1, MAX_LEN))
+truncate_op = st.tuples(st.just("truncate"),
+                        st.integers(0, MAX_OFFSET),
+                        st.just(b""))
+ops = st.lists(st.one_of(write_op, hole_op, truncate_op), max_size=40)
+
+
+class ReferenceFile:
+    """Dead-simple bytearray model."""
+
+    def __init__(self):
+        self.data = bytearray()
+
+    def _grow(self, size):
+        if len(self.data) < size:
+            self.data.extend(b"\x00" * (size - len(self.data)))
+
+    def write(self, offset, payload):
+        self._grow(offset + len(payload))
+        self.data[offset:offset + len(payload)] = payload
+
+    def hole(self, offset, length):
+        self._grow(offset + length)
+        self.data[offset:offset + length] = b"\x00" * length
+
+    def truncate(self, size):
+        if size <= len(self.data):
+            del self.data[size:]
+        else:
+            self._grow(size)
+
+    def read(self, offset, length):
+        return bytes(self.data[offset:offset + length])
+
+
+def apply_ops(operations):
+    real = SparseFile()
+    model = ReferenceFile()
+    for kind, offset, payload in operations:
+        if kind == "write":
+            real.write(offset, payload)
+            model.write(offset, payload)
+        elif kind == "hole":
+            real.write_hole(offset, payload)
+            model.hole(offset, payload)
+        else:
+            real.truncate(offset)
+            model.truncate(offset)
+    return real, model
+
+
+@given(ops)
+@settings(max_examples=300)
+def test_size_matches_model(operations):
+    real, model = apply_ops(operations)
+    assert real.size == len(model.data)
+
+
+@given(ops, st.integers(0, MAX_OFFSET + MAX_LEN), st.integers(0, MAX_LEN))
+@settings(max_examples=300)
+def test_reads_match_model(operations, offset, length):
+    real, model = apply_ops(operations)
+    assert real.read(offset, length) == model.read(offset, length)
+
+
+@given(ops)
+@settings(max_examples=200)
+def test_full_content_matches_model(operations):
+    real, model = apply_ops(operations)
+    assert real.read(0, real.size) == bytes(model.data)
+
+
+@given(ops)
+@settings(max_examples=200)
+def test_real_bytes_never_exceeds_size(operations):
+    real, _ = apply_ops(operations)
+    assert 0 <= real.real_bytes <= max(real.size, 0)
+
+
+@given(st.lists(st.tuples(st.integers(0, 64), st.binary(min_size=1,
+                                                        max_size=8)),
+                min_size=1, max_size=30))
+@settings(max_examples=200)
+def test_chunks_stay_disjoint_and_sorted(writes):
+    """Internal invariant: chunk offsets sorted, no overlaps."""
+    real = SparseFile()
+    for offset, payload in writes:
+        real.write(offset, payload)
+    offsets = real._offsets
+    assert offsets == sorted(offsets)
+    previous_end = -1
+    for offset in offsets:
+        assert offset > previous_end
+        previous_end = offset + len(real._chunks[offset]) - 1

@@ -1,0 +1,129 @@
+"""Stateful property testing: drive a live system through random
+operation sequences and check the global invariants at every step.
+
+Complements the scripted property tests: the RuleBasedStateMachine
+explores *interleavings* (multiple live processes, syncs in the middle
+of activity, renames between writes) that linear generators don't.
+"""
+
+import hypothesis.strategies as st
+from hypothesis.stateful import (
+    Bundle,
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+
+from repro.storage.fsck import fsck
+from repro.system import System
+
+NAMES = ["alpha", "beta", "gamma", "delta"]
+
+
+class SystemMachine(RuleBasedStateMachine):
+    files = Bundle("files")
+
+    @initialize()
+    def boot(self):
+        self.system = System.boot()
+        self.procs = [self.system.kernel.spawn_shell(["p0"])]
+        self.synced_once = False
+
+    def _proc(self, index):
+        return self.procs[index % len(self.procs)]
+
+    # -- rules ----------------------------------------------------------------
+
+    @rule(target=files, name=st.sampled_from(NAMES),
+          proc_index=st.integers(0, 3))
+    def create_file(self, name, proc_index):
+        proc = self._proc(proc_index)
+        path = f"/pass/{name}"
+        fd = proc.open(path, "w")
+        proc.write(fd, name.encode())
+        proc.close(fd)
+        return path
+
+    @rule(path=files, proc_index=st.integers(0, 3))
+    def read_file(self, path, proc_index):
+        proc = self._proc(proc_index)
+        if not proc.exists(path):
+            return
+        fd = proc.open(path, "r")
+        proc.read(fd)
+        proc.close(fd)
+
+    @rule(path=files, proc_index=st.integers(0, 3))
+    def read_modify_write(self, path, proc_index):
+        proc = self._proc(proc_index)
+        if not proc.exists(path):
+            return
+        fd = proc.open(path, "r+")
+        proc.read(fd)
+        proc.write(fd, b"mutated")
+        proc.close(fd)
+
+    @rule(path=files, suffix=st.integers(0, 2))
+    def rename_file(self, path, suffix):
+        proc = self._proc(0)
+        if not proc.exists(path):
+            return
+        target = f"{path}-r{suffix}"
+        if proc.exists(target):
+            return
+        proc.rename(path, target)
+        proc.rename(target, path)      # rename back: path stays valid
+
+    @rule(path=files)
+    def copy_file(self, path):
+        proc = self._proc(0)
+        if not proc.exists(path):
+            return
+        fd = proc.open(path, "r")
+        data = proc.read(fd)
+        proc.close(fd)
+        out = proc.open(f"{path}-copy", "w")
+        proc.write(out, data)
+        proc.close(out)
+
+    @rule()
+    def spawn_process(self):
+        if len(self.procs) < 5:
+            self.procs.append(self.system.kernel.spawn_shell(
+                [f"p{len(self.procs)}"]))
+
+    @rule()
+    def retire_process(self):
+        if len(self.procs) > 1:
+            proc = self.procs.pop()
+            self.system.kernel._reap(proc.proc, 0)
+
+    @rule()
+    def sync(self):
+        self.system.sync()
+        self.synced_once = True
+
+    # -- invariants ------------------------------------------------------------
+
+    @invariant()
+    def store_is_clean(self):
+        if not getattr(self, "synced_once", False):
+            return
+        self.system.sync()
+        report = fsck(self.system.databases())
+        assert report.clean, "\n".join(str(f) for f in report.findings)
+
+    @invariant()
+    def analyzer_counters_sane(self):
+        analyzer = getattr(self, "system", None)
+        if analyzer is None:
+            return
+        analyzer = self.system.kernel.analyzer
+        assert analyzer.records_out <= analyzer.records_in + analyzer.freezes
+
+
+SystemMachine.TestCase.settings = __import__("hypothesis").settings(
+    max_examples=25, stateful_step_count=20, deadline=None,
+)
+TestSystemMachine = SystemMachine.TestCase

@@ -1,0 +1,121 @@
+"""Property-based tests: VFS namespace operations against a dict model."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core.errors import ReproError
+from repro.kernel.cache import PageCache
+from repro.kernel.clock import SimClock
+from repro.kernel.disk import SimulatedDisk
+from repro.kernel.vfs import VFS
+from repro.kernel.volume import Volume
+
+NAMES = ["a", "b", "c", "d"]
+DIRS = ["d1", "d2"]
+
+ops = st.lists(st.one_of(
+    st.tuples(st.just("create"), st.sampled_from(NAMES),
+              st.sampled_from(["/", *["/" + d for d in DIRS]])),
+    st.tuples(st.just("mkdir"), st.sampled_from(DIRS), st.just("/")),
+    st.tuples(st.just("unlink"), st.sampled_from(NAMES),
+              st.sampled_from(["/", *["/" + d for d in DIRS]])),
+    st.tuples(st.just("rename"), st.sampled_from(NAMES),
+              st.sampled_from(NAMES)),
+), max_size=30)
+
+
+def fresh_vfs():
+    clock = SimClock()
+    disk = SimulatedDisk(clock)
+    vfs = VFS()
+    volume = Volume("root", 1, clock, disk, PageCache())
+    vfs.mount(volume, "/")
+    return vfs
+
+
+def apply(vfs, model: set, operations):
+    """Apply ops to both the VFS and a set-of-paths model; errors must
+    strike both or neither."""
+    for kind, name, base in operations:
+        if kind == "create":
+            path = f"{base.rstrip('/')}/{name}"
+            parent_ok = base == "/" or base.lstrip("/") in {
+                p for p in model if "/" not in p.strip("/")
+                and (("/" + p) == base)}
+            parent_ok = base == "/" or base.strip("/") in model
+            try:
+                vfs.create(path, exclusive=False)
+                real_ok = True
+            except ReproError:
+                real_ok = False
+            assert real_ok == parent_ok
+            if parent_ok:
+                model.add(path.strip("/"))
+        elif kind == "mkdir":
+            path = f"/{name}"
+            exists = name in model
+            try:
+                vfs.mkdir(path)
+                real_ok = True
+            except ReproError:
+                real_ok = False
+            assert real_ok == (not exists)
+            model.add(name)
+        elif kind == "unlink":
+            path = f"{base.rstrip('/')}/{name}"
+            key = path.strip("/")
+            present = key in model
+            try:
+                vfs.unlink(path)
+                real_ok = True
+            except ReproError:
+                real_ok = False
+            # unlink also fails when base dir is missing; the model
+            # treats that as absent too.
+            assert real_ok == present
+            model.discard(key)
+        elif kind == "rename":
+            old, new = f"/{name}", f"/{base if base != name else name}"
+            # Rename top-level file name -> other top-level name.
+            new = f"/{NAMES[(NAMES.index(name) + 1) % len(NAMES)]}"
+            present = name in model and name not in DIRS
+            try:
+                vfs.rename(old, new)
+                real_ok = True
+            except ReproError:
+                real_ok = False
+            if real_ok:
+                model.discard(name)
+                model.add(new.strip("/"))
+
+
+@given(ops)
+@settings(max_examples=300)
+def test_namespace_matches_model(operations):
+    vfs = fresh_vfs()
+    model: set = set()
+    apply(vfs, model, operations)
+    # Every modelled path resolves; nothing unmodelled resolves.
+    reachable = {path.strip("/") for path, inode in vfs.walk("/")
+                 if path != "/"}
+    for key in model:
+        if "/" not in key or key.split("/")[0] in model:
+            assert key in reachable, f"{key} missing from VFS"
+
+
+@given(ops)
+@settings(max_examples=200)
+def test_walk_is_consistent_with_resolve(operations):
+    vfs = fresh_vfs()
+    apply(vfs, set(), operations)
+    for path, inode in vfs.walk("/"):
+        assert vfs.resolve(path) is inode
+
+
+@given(ops)
+@settings(max_examples=200)
+def test_inode_numbers_unique(operations):
+    vfs = fresh_vfs()
+    apply(vfs, set(), operations)
+    inos = [inode.ino for _, inode in vfs.walk("/")]
+    assert len(inos) == len(set(inos))

@@ -1,0 +1,243 @@
+"""Unit tests for the application layers' internals."""
+
+import pytest
+
+from repro.apps.kepler.actors import (
+    ColumnExtractor,
+    Combiner,
+    ExpressionEvaluator,
+    FileSink,
+    FileSource,
+    FiringContext,
+    LineParser,
+    Token,
+    Transformer,
+)
+from repro.apps.kepler.workflow import Workflow
+from repro.core.errors import WorkflowError
+from repro.system import System
+
+
+def fire(actor, inputs=None, params=None, sc=None):
+    ctx = FiringContext(
+        inputs={port: Token(value) for port, value in (inputs or {}).items()},
+        params={**actor.params, **(params or {})},
+        sc=sc,
+    )
+    actor.fire(ctx)
+    return dict(ctx._emitted)
+
+
+class TestActorLibrary:
+    def test_transformer(self):
+        actor = Transformer("t", fn=lambda x: x * 2)
+        assert fire(actor, {"in": 3}) == {"out": 6}
+
+    def test_transformer_requires_fn(self):
+        with pytest.raises(WorkflowError):
+            fire(Transformer("t"), {"in": 3})
+
+    def test_line_parser_tabs(self):
+        actor = LineParser("p")
+        out = fire(actor, {"in": b"a\t1\nb\t2\n\n"})
+        assert out["out"] == [["a", "1"], ["b", "2"]]
+
+    def test_line_parser_custom_delimiter(self):
+        actor = LineParser("p", delimiter=",")
+        out = fire(actor, {"in": "x,1\ny,2"})
+        assert out["out"] == [["x", "1"], ["y", "2"]]
+
+    def test_column_extractor(self):
+        actor = ColumnExtractor("c", column=1)
+        out = fire(actor, {"in": [["a", "1"], ["b", "2"], ["short"]]})
+        assert out["out"] == ["1", "2"]
+
+    def test_expression_evaluator_format_string(self):
+        actor = ExpressionEvaluator("e", expression="v=%s")
+        out = fire(actor, {"in": ["1", "2"]})
+        assert out["out"] == b"v=1\nv=2"
+
+    def test_expression_evaluator_callable(self):
+        actor = ExpressionEvaluator("e", expression=lambda v: int(v) * 10)
+        out = fire(actor, {"in": ["1", "2"]})
+        assert out["out"] == b"10\n20"
+
+    def test_combiner_default_concat(self):
+        actor = Combiner("c", arity=3)
+        out = fire(actor, {"in0": b"a", "in1": b"b", "in2": b"c"})
+        assert out["out"] == b"abc"
+
+    def test_combiner_custom_fn(self):
+        actor = Combiner("c", arity=2, fn=lambda vs: sum(vs))
+        out = fire(actor, {"in0": 1, "in1": 2})
+        assert out["out"] == 3
+
+    def test_file_source_requires_path(self):
+        with pytest.raises(WorkflowError):
+            fire(FileSource("s"))
+
+    def test_file_sink_accepts_filename_alias(self, baseline):
+        with baseline.process() as proc:
+            actor = FileSink("k", fileName="/pass/aliased")
+            fire(actor, {"in": b"data"}, sc=proc)
+            fd = proc.open("/pass/aliased", "r")
+            assert proc.read(fd) == b"data"
+
+    def test_ready_semantics(self):
+        actor = Combiner("c", arity=2)
+        assert not actor.ready({"in0": 1, "in1": 0})
+        assert actor.ready({"in0": 1, "in1": 2})
+
+    def test_emit_unknown_port_detected_by_director(self, baseline):
+        class Rogue(Transformer):
+            def fire(self, ctx):
+                ctx.emit("bogus", 1)
+
+        wf = Workflow("rogue")
+        wf.add(FileSource("src", path="/pass/in"))
+        wf.add(Rogue("r", fn=lambda x: x))
+        wf.connect("src", "out", "r", "in")
+        from repro.apps.kepler.director import run_workflow
+        with baseline.process() as proc:
+            fd = proc.open("/pass/in", "w")
+            proc.write(fd, b"x")
+            proc.close(fd)
+        with pytest.raises(WorkflowError):
+            run_workflow(baseline, wf, recording=None)
+
+
+class TestWorkflowGraph:
+    def test_upstream_of(self):
+        wf = Workflow("w")
+        wf.add(FileSource("a", path="/x"))
+        wf.add(Transformer("b", fn=lambda x: x))
+        wf.connect("a", "out", "b", "in")
+        assert wf.upstream_of("b") == {"a"}
+        assert wf.upstream_of("a") == set()
+
+    def test_sources(self):
+        wf = Workflow("w")
+        wf.add(FileSource("a", path="/x"))
+        wf.add(Transformer("b", fn=lambda x: x))
+        assert [actor.name for actor in wf.sources()] == ["a"]
+
+    def test_unknown_actor(self):
+        wf = Workflow("w")
+        with pytest.raises(WorkflowError):
+            wf.actor("ghost")
+
+
+class TestWebModelUnits:
+    def test_publish_replaces(self):
+        from repro.apps.links import Web
+        web = Web()
+        web.publish("http://a/", content=b"v1")
+        web.publish("http://a/", content=b"v2")
+        page, _ = web.fetch("http://a/")
+        assert page.content == b"v2"
+
+    def test_request_counter(self):
+        from repro.apps.links import Web
+        web = Web()
+        web.publish("http://a/")
+        web.fetch("http://a/")
+        web.fetch("http://a/")
+        assert web.requests == 2
+
+    def test_urls_sorted(self):
+        from repro.apps.links import Web
+        web = Web()
+        web.publish("http://b/")
+        web.publish("http://a/")
+        assert web.urls() == ["http://a/", "http://b/"]
+
+    def test_follow_bad_link_index(self, system):
+        from repro.apps.links import Browser, Web
+        from repro.core.errors import BrowserError
+        web = Web()
+        web.publish("http://a/", links=[])
+
+        def program(sc):
+            browser = Browser(sc, web)
+            session = browser.new_session()
+            browser.visit(session, "http://a/")
+            with pytest.raises(BrowserError):
+                browser.follow_link(session, 5)
+            return 0
+
+        system.register_program("/pass/bin/links", program)
+        system.run("/pass/bin/links")
+
+    def test_download_without_visit_counts_as_visit(self, system):
+        from repro.apps.links import Browser, Web
+        web = Web()
+        web.publish("http://direct/file", content=b"x")
+
+        def program(sc):
+            browser = Browser(sc, web)
+            session = browser.new_session()
+            browser.download(session, "http://direct/file", "/pass/dl")
+            assert "http://direct/file" in session.history
+            return 0
+
+        system.register_program("/pass/bin/links", program)
+        system.run("/pass/bin/links")
+
+
+class TestPaPythonUnits:
+    def test_wrapped_function_name(self, system):
+        from repro.apps.papython import ProvenanceTracker
+
+        def program(sc):
+            tracker = ProvenanceTracker(sc)
+
+            def compute(x):
+                return x
+
+            wrapped = tracker.wrap_function(compute)
+            assert wrapped.__name__ == "pa_compute"
+            assert hasattr(wrapped, "provenance_fd")
+            return 0
+
+        system.register_program("/pass/bin/app", program)
+        system.run("/pass/bin/app")
+
+    def test_kwargs_tracked(self, system):
+        from repro.apps.papython import ProvenanceTracker
+
+        def program(sc):
+            tracker = ProvenanceTracker(sc)
+            fn = tracker.wrap_function(lambda a, b=0: a + b, name="add")
+            tracked = tracker.wrap_value(5, "five")
+            result = fn(1, b=tracked)
+            assert result.value == 6
+            return 0
+
+        system.register_program("/pass/bin/app", program)
+        system.run("/pass/bin/app")
+
+    def test_wrap_module_name_filter(self, system):
+        from repro.apps.papython import ProvenanceTracker
+
+        def program(sc):
+            tracker = ProvenanceTracker(sc)
+            module = {"keep": lambda: 1, "skip": lambda: 2}
+            wrapped = tracker.wrap_module(module, names=["keep"])
+            assert list(wrapped) == ["keep"]
+            return 0
+
+        system.register_program("/pass/bin/app", program)
+        system.run("/pass/bin/app")
+
+    def test_write_file_plain_value(self, system):
+        from repro.apps.papython import ProvenanceTracker
+
+        def program(sc):
+            tracker = ProvenanceTracker(sc)
+            tracker.write_file("/pass/plain", "not tracked")
+            fd = sc.open("/pass/plain", "r")
+            assert sc.read(fd) == b"not tracked"
+            return 0
+
+        system.register_program("/pass/bin/app", program)
+        system.run("/pass/bin/app")

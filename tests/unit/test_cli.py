@@ -1,0 +1,79 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import SCENARIOS, main
+
+
+class TestDemoCommand:
+    def test_quickstart_query(self, capsys):
+        assert main(["demo", "--scenario", "quickstart", "--query",
+                     "select F.name from Provenance.file as F "
+                     'where F.name like "/pass/%"']) == 0
+        out = capsys.readouterr().out
+        assert "/pass/raw.dat" in out
+        assert "/pass/result.dat" in out
+
+    def test_tree_output(self, capsys):
+        assert main(["demo", "--scenario", "quickstart",
+                     "--tree", "/pass/result.dat"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("/pass/result.dat")
+        assert "transform" in out
+
+    def test_dot_to_stdout(self, capsys):
+        assert main(["demo", "--scenario", "quickstart", "--dot", "-"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("digraph provenance")
+
+    def test_dot_to_file(self, tmp_path, capsys):
+        target = tmp_path / "graph.dot"
+        assert main(["demo", "--dot", str(target)]) == 0
+        assert target.read_text().startswith("digraph provenance")
+
+    def test_no_action_hint(self, capsys):
+        assert main(["demo"]) == 0
+        assert "nothing asked" in capsys.readouterr().err
+
+    def test_malware_scenario_builds(self):
+        system = SCENARIOS["malware"]()
+        assert system.find_by_name("/pass/codec.bin")
+
+    def test_challenge_scenario_builds(self):
+        system = SCENARIOS["challenge"]()
+        assert system.find_by_name("/pass/out/atlas-x.gif")
+
+    def test_node_rows_rendered(self, capsys):
+        assert main(["demo", "--query",
+                     "select F from Provenance.file as F limit 1"]) == 0
+        out = capsys.readouterr().out
+        assert "[FILE]" in out
+
+    def test_tuple_rows_rendered(self, capsys):
+        assert main(["demo", "--query",
+                     "select F, F.name from Provenance.file as F "
+                     "limit 1"]) == 0
+        assert "|" in capsys.readouterr().out
+
+
+class TestOtherCommands:
+    def test_inspect(self, capsys):
+        assert main(["inspect"]) == 0
+        out = capsys.readouterr().out
+        for component in ("interceptor", "analyzer", "distributor",
+                          "lasagna", "waldo"):
+            assert component in out
+
+    def test_bench_tiny(self, capsys):
+        assert main(["bench", "--scale", "0.02"]) == 0
+        out = capsys.readouterr().out
+        assert "Linux Compile" in out
+        assert "%" in out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["demo", "--scenario", "nope"])

@@ -1,0 +1,174 @@
+"""Unit tests for the clock, disk cost model, and page cache."""
+
+import pytest
+
+from repro.core.errors import VolumeError
+from repro.kernel.cache import PageCache
+from repro.kernel.clock import SimClock, Stopwatch
+from repro.kernel.disk import SimulatedDisk
+from repro.kernel.params import CacheParams, DiskParams
+
+
+class TestClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now == 0.0
+
+    def test_advance_accumulates(self):
+        clock = SimClock()
+        clock.advance(1.5)
+        clock.advance(0.5)
+        assert clock.now == 2.0
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock().advance(-1)
+
+    def test_category_breakdown(self):
+        clock = SimClock()
+        clock.advance(1.0, "disk_read")
+        clock.advance(2.0, "user_cpu")
+        clock.advance(0.5, "disk_read")
+        assert clock.category("disk_read") == 1.5
+        assert clock.breakdown() == {"disk_read": 1.5, "user_cpu": 2.0}
+        assert clock.category("missing") == 0.0
+
+    def test_stopwatch(self):
+        clock = SimClock()
+        with Stopwatch(clock) as watch:
+            clock.advance(3.25)
+        assert watch.elapsed == 3.25
+
+
+class TestDisk:
+    def make(self):
+        clock = SimClock()
+        disk = SimulatedDisk(clock, DiskParams())
+        disk.add_region("a", 10000)
+        disk.add_region("b", 10000)
+        return clock, disk
+
+    def test_sequential_access_is_transfer_only(self):
+        clock, disk = self.make()
+        disk.write(0, 4096)
+        t_after_first = clock.now
+        disk.write(1, 4096)        # head is at block 1 already
+        second_cost = clock.now - t_after_first
+        assert second_cost == pytest.approx(4096 / disk.params.transfer_rate)
+        # The first write (head already at block 0) was sequential too.
+        assert disk.seeks == 0
+        assert disk.sequential_accesses == 2
+
+    def test_long_jump_costs_full_seek(self):
+        clock, disk = self.make()
+        disk.write(0, 4096)
+        before = clock.now
+        disk.read(9000, 4096)
+        cost = clock.now - before
+        expected = (disk.params.avg_seek + disk.params.rotational
+                    + 4096 / disk.params.transfer_rate)
+        assert cost == pytest.approx(expected)
+
+    def test_short_jump_costs_track_seek(self):
+        clock, disk = self.make()
+        disk.write(0, 4096)
+        before = clock.now
+        disk.write(100, 4096)      # within short_seek_blocks
+        cost = clock.now - before
+        expected = disk.params.short_seek + 4096 / disk.params.transfer_rate
+        assert cost == pytest.approx(expected)
+
+    def test_clustered_write_does_not_move_head(self):
+        clock, disk = self.make()
+        disk.write(5000, 4096)
+        head = disk.head
+        disk.clustered_write(8192, barrier=0.001)
+        assert disk.head == head
+
+    def test_clustered_write_cost(self):
+        clock, disk = self.make()
+        before = clock.now
+        disk.clustered_write(4096, barrier=0.002)
+        expected = (disk.params.short_seek + 0.002
+                    + 4096 / disk.params.transfer_rate)
+        assert clock.now - before == pytest.approx(expected)
+
+    def test_region_allocation_exhaustion(self):
+        clock, disk = self.make()
+        region = disk.region("a")
+        region.allocate(10000)
+        with pytest.raises(VolumeError):
+            region.allocate(1)
+
+    def test_duplicate_region_rejected(self):
+        clock, disk = self.make()
+        with pytest.raises(VolumeError):
+            disk.add_region("a", 10)
+
+    def test_unknown_region_rejected(self):
+        clock, disk = self.make()
+        with pytest.raises(VolumeError):
+            disk.region("zzz")
+
+    def test_negative_io_rejected(self):
+        clock, disk = self.make()
+        with pytest.raises(ValueError):
+            disk.write(0, -5)
+
+    def test_byte_counters(self):
+        clock, disk = self.make()
+        disk.write(0, 1000)
+        disk.read(0, 500)
+        assert disk.bytes_written == 1000
+        assert disk.bytes_read == 500
+
+
+class TestPageCacheUnit:
+    def test_miss_then_hit(self):
+        cache = PageCache(CacheParams(capacity_pages=4))
+        assert not cache.lookup(1, 0)
+        cache.insert(1, 0)
+        assert cache.lookup(1, 0)
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_eviction_order(self):
+        cache = PageCache(CacheParams(capacity_pages=2))
+        cache.insert(1, 0)
+        cache.insert(1, 1)
+        cache.lookup(1, 0)           # refresh 0
+        cache.insert(1, 2)           # evicts 1
+        assert cache.lookup(1, 0)
+        assert not cache.lookup(1, 1)
+        assert cache.lookup(1, 2)
+
+    def test_shrink_evicts(self):
+        cache = PageCache(CacheParams(capacity_pages=10))
+        for block in range(10):
+            cache.insert(1, block)
+        cache.shrink(0.5)
+        assert len(cache) == 5
+        assert cache.capacity == 5
+        # The *oldest* pages went.
+        assert not cache.lookup(1, 0)
+        assert cache.lookup(1, 9)
+
+    def test_shrink_bad_factor(self):
+        cache = PageCache()
+        with pytest.raises(ValueError):
+            cache.shrink(0)
+        with pytest.raises(ValueError):
+            cache.shrink(1.5)
+
+    def test_invalidate_volume(self):
+        cache = PageCache(CacheParams(capacity_pages=10))
+        cache.insert(1, 0)
+        cache.insert(2, 0)
+        cache.invalidate_volume(1)
+        assert not cache.lookup(1, 0)
+        assert cache.lookup(2, 0)
+
+    def test_invalidate_single(self):
+        cache = PageCache()
+        cache.insert(1, 7)
+        cache.invalidate(1, 7)
+        assert not cache.lookup(1, 7)
+        cache.invalidate(1, 7)       # idempotent

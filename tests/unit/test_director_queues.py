@@ -1,0 +1,65 @@
+"""Director queueing semantics: multi-token channels."""
+
+from repro.apps.kepler import FileSink, Transformer, Workflow, run_workflow
+from repro.apps.kepler.actors import Actor, Combiner
+from tests.conftest import read_file
+
+
+class Burst(Actor):
+    """Source emitting several tokens in one firing."""
+
+    output_ports = ("out",)
+
+    def fire(self, ctx):
+        for index in range(int(ctx.params.get("count", 3))):
+            ctx.emit("out", f"t{index}".encode())
+
+
+class Accumulate(Actor):
+    """Sink appending every token it consumes to a file."""
+
+    input_ports = ("in",)
+
+    def fire(self, ctx):
+        path = ctx.params["path"]
+        existing = b""
+        if ctx.sc.exists(path):
+            fd = ctx.sc.open(path, "r")
+            existing = ctx.sc.read(fd)
+            ctx.sc.close(fd)
+        ctx.write_file(path, existing + ctx.inputs["in"].value)
+
+
+class TestMultiTokenChannels:
+    def test_burst_tokens_all_consumed(self, baseline):
+        wf = Workflow("burst")
+        wf.add(Burst("src", count=4))
+        wf.add(Accumulate("sink", path="/pass/acc"))
+        wf.connect("src", "out", "sink", "in")
+        director = run_workflow(baseline, wf, recording=None)
+        assert read_file(baseline, "/pass/acc") == b"t0t1t2t3"
+        assert director.firings == 1 + 4       # one burst, four consumes
+
+    def test_fan_in_pairs_tokens(self, baseline):
+        """A Combiner consumes one token per port per firing, pairing
+        queued bursts positionally (SDF semantics)."""
+        wf = Workflow("pairs")
+        wf.add(Burst("left", count=2))
+        wf.add(Burst("right", count=2))
+        wf.add(Combiner("zip", arity=2))
+        wf.add(Accumulate("sink", path="/pass/pairs"))
+        wf.connect("left", "out", "zip", "in0")
+        wf.connect("right", "out", "zip", "in1")
+        wf.connect("zip", "out", "sink", "in")
+        run_workflow(baseline, wf, recording=None)
+        assert read_file(baseline, "/pass/pairs") == b"t0t0t1t1"
+
+    def test_chained_bursts(self, baseline):
+        wf = Workflow("chain")
+        wf.add(Burst("src", count=3))
+        wf.add(Transformer("bang", fn=lambda d: d + b"!"))
+        wf.add(Accumulate("sink", path="/pass/chain"))
+        wf.connect("src", "out", "bang", "in")
+        wf.connect("bang", "out", "sink", "in")
+        run_workflow(baseline, wf, recording=None)
+        assert read_file(baseline, "/pass/chain") == b"t0!t1!t2!"

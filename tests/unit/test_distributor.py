@@ -1,0 +1,125 @@
+"""Unit tests for the distributor: caching and flush routing."""
+
+import pytest
+
+from repro.core.distributor import Distributor
+from repro.core.errors import UnknownPnode, VolumeError
+from repro.core.pnode import ObjectRef, make_pnode
+from repro.core.records import Attr, ProvenanceRecord
+
+PASS_VOL_ID = 3
+VOLUME_NAMES = {PASS_VOL_ID: "pass"}
+
+
+def make_distributor(default="pass"):
+    flushed = []
+
+    def sink(volume, bundle):
+        flushed.extend((volume, record) for record in bundle)
+
+    dist = Distributor(sink, lambda vid: VOLUME_NAMES[vid],
+                       default_volume=default)
+    return dist, flushed
+
+
+def persistent_ref(local=1, version=0):
+    return ObjectRef(make_pnode(PASS_VOL_ID, local), version)
+
+
+def transient_ref(local=1, version=0):
+    return ObjectRef(make_pnode(0, local), version)
+
+
+class TestRouting:
+    def test_persistent_subject_flushes_immediately(self):
+        dist, flushed = make_distributor()
+        record = ProvenanceRecord(persistent_ref(), Attr.NAME, "/pass/x")
+        dist.dispatch(record)
+        assert flushed == [("pass", record)]
+
+    def test_transient_subject_is_cached(self):
+        dist, flushed = make_distributor()
+        record = ProvenanceRecord(transient_ref(), Attr.TYPE, "PROCESS")
+        dist.dispatch(record)
+        assert flushed == []
+        assert dist.cached_records(record.subject.pnode) == [record]
+
+    def test_ancestor_cache_flushed_before_descendant_record(self):
+        """WAP across objects: the process's provenance must hit the log
+        before the file record that references the process."""
+        dist, flushed = make_distributor()
+        proc_ref = transient_ref(local=7)
+        proc_record = ProvenanceRecord(proc_ref, Attr.TYPE, "PROCESS")
+        dist.dispatch(proc_record)
+        file_record = ProvenanceRecord(persistent_ref(), Attr.INPUT, proc_ref)
+        dist.dispatch(file_record)
+        assert flushed == [("pass", proc_record), ("pass", file_record)]
+
+    def test_recursive_ancestor_flush(self):
+        """file <- process <- pipe <- earlier process: one dispatch pulls
+        the whole transient chain out in dependency order."""
+        dist, flushed = make_distributor()
+        p1, pipe, p2 = (transient_ref(local=i) for i in (1, 2, 3))
+        dist.dispatch(ProvenanceRecord(p1, Attr.TYPE, "PROCESS"))
+        dist.dispatch(ProvenanceRecord(pipe, Attr.INPUT, p1))
+        dist.dispatch(ProvenanceRecord(p2, Attr.INPUT, pipe))
+        assert flushed == []
+        dist.dispatch(ProvenanceRecord(persistent_ref(), Attr.INPUT, p2))
+        order = [record.subject.pnode for _, record in flushed]
+        assert order.index(p1.pnode) < order.index(pipe.pnode)
+        assert order.index(pipe.pnode) < order.index(p2.pnode)
+
+    def test_follow_on_records_go_to_assigned_volume(self):
+        dist, flushed = make_distributor()
+        proc = transient_ref(local=5)
+        dist.dispatch(ProvenanceRecord(proc, Attr.TYPE, "PROCESS"))
+        dist.flush(proc.pnode, "pass")
+        later = ProvenanceRecord(proc, Attr.NAME, "late-record")
+        dist.dispatch(later)
+        assert ("pass", later) in flushed
+
+
+class TestSync:
+    def test_sync_forces_cached_records_out(self):
+        dist, flushed = make_distributor()
+        obj = transient_ref(local=9)
+        dist.dispatch(ProvenanceRecord(obj, Attr.TYPE, "SESSION"))
+        dist.sync(obj.pnode)
+        assert len(flushed) == 1
+
+    def test_sync_unknown_pnode_raises(self):
+        dist, _ = make_distributor()
+        with pytest.raises(UnknownPnode):
+            dist.sync(make_pnode(0, 999))
+
+    def test_sync_respects_hint(self):
+        flushed = []
+        dist = Distributor(lambda vol, bundle: flushed.append(vol),
+                           lambda vid: VOLUME_NAMES[vid],
+                           default_volume="pass")
+        obj = transient_ref(local=4)
+        dist.set_hint(obj.pnode, "other-volume")
+        dist.dispatch(ProvenanceRecord(obj, Attr.TYPE, "SESSION"))
+        dist.sync(obj.pnode)
+        assert flushed == ["other-volume"]
+
+    def test_no_default_volume_raises(self):
+        dist, _ = make_distributor(default=None)
+        obj = transient_ref(local=2)
+        dist.dispatch(ProvenanceRecord(obj, Attr.TYPE, "PROCESS"))
+        with pytest.raises(VolumeError):
+            dist.flush(obj.pnode)
+
+
+class TestDiscard:
+    def test_discard_drops_cache(self):
+        dist, flushed = make_distributor()
+        obj = transient_ref(local=3)
+        dist.dispatch(ProvenanceRecord(obj, Attr.TYPE, "NP_FILE"))
+        assert dist.discard(obj.pnode) == 1
+        assert dist.cached_records(obj.pnode) == []
+        assert dist.records_discarded == 1
+
+    def test_discard_unknown_is_noop(self):
+        dist, _ = make_distributor()
+        assert dist.discard(12345) == 0

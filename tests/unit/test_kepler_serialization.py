@@ -1,0 +1,114 @@
+"""Tests for workflow JSON (de)serialization."""
+
+import pytest
+
+from repro.apps.kepler import FileSink, FileSource, Transformer, Workflow
+from repro.apps.kepler.actors import Combiner
+from repro.apps.kepler.challenge import build_challenge
+from repro.apps.kepler.serialization import (
+    ACTOR_TYPES,
+    dumps,
+    loads,
+    register_actor_type,
+    workflow_from_dict,
+    workflow_to_dict,
+)
+from repro.core.errors import WorkflowError
+
+
+def simple_wf():
+    wf = Workflow("simple")
+    wf.add(FileSource("src", path="/pass/in"))
+    wf.add(FileSink("sink", path="/pass/out"))
+    wf.connect("src", "out", "sink", "in")
+    return wf
+
+
+class TestRoundtrip:
+    def test_plain_workflow(self):
+        restored = loads(dumps(simple_wf()))
+        assert restored.name == "simple"
+        assert {a.name for a in restored.actors()} == {"src", "sink"}
+        assert restored.receivers("src", "out") == [("sink", "in")]
+        restored.validate()
+
+    def test_challenge_workflow_roundtrips(self):
+        original = build_challenge("/i", "/w", "/o")
+        restored = loads(dumps(original))
+        assert {a.name for a in restored.actors()} \
+            == {a.name for a in original.actors()}
+        restored.validate()
+        # Wiring identical.
+        for actor in original.actors():
+            for port in actor.output_ports:
+                assert restored.receivers(actor.name, port) \
+                    == original.receivers(actor.name, port)
+
+    def test_params_preserved(self):
+        restored = loads(dumps(simple_wf()))
+        assert restored.actor("src").params["path"] == "/pass/in"
+
+    def test_combiner_arity_preserved(self):
+        wf = Workflow("w")
+        wf.add(Combiner("merge", arity=3))
+        restored = loads(dumps(wf))
+        assert restored.actor("merge").input_ports == ("in0", "in1", "in2")
+
+    def test_restored_workflow_runs(self, system):
+        from repro.apps.kepler import run_workflow
+        from tests.conftest import read_file, write_file
+        write_file(system, "/pass/in", b"payload")
+        restored = loads(dumps(simple_wf()))
+        run_workflow(system, restored, recording=None)
+        assert read_file(system, "/pass/out") == b"payload"
+
+
+class TestCallables:
+    def test_callable_marked_and_requires_override(self):
+        wf = Workflow("w")
+        wf.add(FileSource("src", path="/in"))
+        wf.add(Transformer("xf", fn=lambda data: data))
+        wf.add(FileSink("sink", path="/out"))
+        wf.connect("src", "out", "xf", "in")
+        wf.connect("xf", "out", "sink", "in")
+        text = dumps(wf)
+        assert "__callable__" in text
+        with pytest.raises(WorkflowError):
+            loads(text)
+        restored = loads(text, param_overrides={
+            "xf.fn": lambda data: data.upper()})
+        assert restored.actor("xf").params["fn"](b"a") == b"A"
+
+    def test_unused_override_rejected(self):
+        with pytest.raises(WorkflowError):
+            loads(dumps(simple_wf()),
+                  param_overrides={"ghost.fn": lambda x: x})
+
+
+class TestErrors:
+    def test_unknown_actor_type(self):
+        spec = {"name": "w",
+                "actors": [{"type": "Martian", "name": "m", "params": {}}],
+                "channels": []}
+        with pytest.raises(WorkflowError):
+            workflow_from_dict(spec)
+
+    def test_malformed_spec(self):
+        with pytest.raises(WorkflowError):
+            workflow_from_dict({"nope": True})
+
+    def test_register_custom_type(self):
+        @register_actor_type
+        class Doubler(Transformer):
+            pass
+
+        assert "Doubler" in ACTOR_TYPES
+        spec = {"name": "w",
+                "actors": [{"type": "Doubler", "name": "d", "params": {}}],
+                "channels": []}
+        restored = workflow_from_dict(spec)
+        assert type(restored.actor("d")).__name__ == "Doubler"
+
+    def test_register_non_actor_rejected(self):
+        with pytest.raises(WorkflowError):
+            register_actor_type(str)

@@ -1,0 +1,175 @@
+"""Unit tests for the provenance log, Waldo, and crash recovery."""
+
+from repro.core.pnode import ObjectRef
+from repro.core.records import Attr, ProvenanceRecord
+from repro.kernel.clock import SimClock
+from repro.kernel.params import LogParams
+from repro.storage.log import (
+    LogSegment,
+    ProvenanceLog,
+    data_digest,
+    md5_unpack,
+    md5_value,
+)
+from repro.storage.waldo import Waldo
+
+
+def rec(pnode=1, version=0, attr=Attr.NAME, value="x"):
+    return ProvenanceRecord(ObjectRef(pnode, version), attr, value)
+
+
+def make_log(**params):
+    clock = SimClock()
+    written = []
+    log = ProvenanceLog(clock, LogParams(**params),
+                        disk_write=written.append)
+    return log, clock, written
+
+
+class TestLogBuffering:
+    def test_append_is_not_durable(self):
+        log, _, written = make_log()
+        log.append(rec())
+        assert written == []
+        assert log.buffered_records == 1
+
+    def test_flush_writes_once_with_framing(self):
+        log, _, written = make_log()
+        log.append(rec())
+        log.append(rec(attr=Attr.TYPE))
+        txn = log.flush()
+        assert txn == 1
+        assert len(written) == 1
+        # 2 records + BEGINTXN + ENDTXN live in the current segment.
+        assert len(log.current.records) == 4
+        attrs = [r.attr for r in log.current.records]
+        assert attrs[0] == Attr.BEGINTXN
+        assert attrs[-1] == Attr.ENDTXN
+
+    def test_empty_flush_is_noop(self):
+        log, _, written = make_log()
+        assert log.flush() is None
+        assert written == []
+
+    def test_txn_ids_increase(self):
+        log, _, _ = make_log()
+        log.append(rec())
+        first = log.flush()
+        log.append(rec(attr=Attr.TYPE))
+        second = log.flush()
+        assert second == first + 1
+
+
+class TestRotation:
+    def test_size_based_rotation(self):
+        log, _, _ = make_log(max_size=200)
+        closed = []
+        log.on_segment_closed = closed.append
+        for i in range(50):
+            log.append(rec(value=f"name-{i}"))
+            log.flush()
+        assert closed
+        assert all(segment.closed for segment in closed)
+
+    def test_dormancy_rotation(self):
+        log, clock, _ = make_log(dormancy=5.0)
+        log.append(rec())
+        log.flush()
+        clock.advance(10.0)
+        log.tick()
+        assert log.closed_segments or log.current.nbytes == 0
+
+    def test_rotate_empty_is_noop(self):
+        log, _, _ = make_log()
+        assert log.rotate() is None
+
+
+class TestCrash:
+    def test_buffered_records_lost(self):
+        log, _, _ = make_log()
+        log.append(rec())
+        assert log.crash() == 1
+        assert log.buffered_records == 0
+
+    def test_torn_tail_reparses(self):
+        log, _, _ = make_log()
+        for i in range(5):
+            log.append(rec(value=f"n{i}"))
+        log.flush()
+        before = len(log.current.records)
+        log.crash(drop_tail_bytes=3)
+        assert len(log.current.records) == before - 1
+
+
+class TestWaldo:
+    def test_drain_inserts_committed_records(self):
+        log, _, _ = make_log()
+        waldo = Waldo(log)
+        log.append(rec(pnode=1))
+        log.append(rec(pnode=2, attr=Attr.TYPE, value="FILE"))
+        log.flush()
+        log.rotate()
+        inserted = waldo.drain()
+        assert inserted == 2
+        assert len(waldo.database) == 2
+
+    def test_txn_framing_not_inserted(self):
+        log, _, _ = make_log()
+        waldo = Waldo(log)
+        log.append(rec())
+        log.flush()
+        log.rotate()
+        waldo.drain()
+        attrs = {r.attr for r in waldo.database.all_records()}
+        assert Attr.BEGINTXN not in attrs
+        assert Attr.ENDTXN not in attrs
+
+    def test_orphaned_txn_kept_aside(self):
+        """A BEGINTXN with no ENDTXN (client died) must not enter the DB."""
+        log, _, _ = make_log()
+        waldo = Waldo(log)
+        segment = LogSegment(0)
+        subject = ObjectRef(9, 0)
+        orphan = ProvenanceRecord(subject, Attr.NAME, "never-committed")
+        for record in (
+            ProvenanceRecord(subject, Attr.BEGINTXN, 77),
+            orphan,
+        ):
+            segment.append(record, b"")
+        segment.closed = True
+        waldo._pending_segments.append(segment)
+        waldo.drain()
+        assert len(waldo.database) == 0
+        assert waldo.orphaned == [orphan]
+
+    def test_drain_is_idempotent(self):
+        log, _, _ = make_log()
+        waldo = Waldo(log)
+        log.append(rec())
+        log.flush()
+        log.rotate()
+        waldo.drain()
+        assert waldo.drain() == 0
+
+    def test_multiple_segments(self):
+        log, _, _ = make_log(max_size=100)
+        waldo = Waldo(log)
+        for i in range(30):
+            log.append(rec(value=f"long-name-{i:04d}"))
+            log.flush()
+        log.rotate()
+        waldo.drain()
+        assert len(waldo.database) == 30
+
+
+class TestMd5Helpers:
+    def test_digest_of_real_bytes(self):
+        assert data_digest(b"abc", 3) == data_digest(b"abc", 999)
+
+    def test_hole_digest_equals_zeros(self):
+        assert data_digest(None, 16) == data_digest(b"\x00" * 16, 16)
+
+    def test_md5_value_roundtrip(self):
+        digest = data_digest(b"payload", 7)
+        value = md5_value(1024, 7, digest)
+        assert md5_unpack(value) == (1024, 7, digest)

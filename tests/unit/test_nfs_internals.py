@@ -1,0 +1,169 @@
+"""Unit tests for PA-NFS internals: network, chunking, proxy namespace."""
+
+import pytest
+
+from repro.core.errors import NetworkPartition, StaleHandle, TransactionError
+from repro.core.pnode import ObjectRef
+from repro.core.records import Attr, ProvenanceRecord
+from repro.kernel.clock import SimClock
+from repro.kernel.params import NetParams
+from repro.nfs import NFSClient, NFSServer, Network
+from repro.nfs.client import _chunk_records
+from repro.storage import codec
+from repro.system import System
+
+
+class TestNetwork:
+    def test_call_charges_rtt_and_wire(self):
+        clock = SimClock()
+        params = NetParams(rtt=0.001, bandwidth=1e6)
+        net = Network(clock, params)
+        net.call(1000, 2000)
+        assert clock.now == pytest.approx(0.001 + 3000 / 1e6)
+        assert net.calls == 1
+        assert net.bytes_sent == 1000
+        assert net.bytes_received == 2000
+
+    def test_partition_blocks_calls(self):
+        net = Network(SimClock())
+        net.partition()
+        with pytest.raises(NetworkPartition):
+            net.call(1, 1)
+        net.heal()
+        net.call(1, 1)
+
+    def test_chunked_calls(self):
+        net = Network(SimClock(), NetParams(max_block=100))
+        assert net.chunked_calls(0) == 1
+        assert net.chunked_calls(100) == 1
+        assert net.chunked_calls(101) == 2
+        assert net.chunked_calls(1000) == 10
+
+
+class TestChunkRecords:
+    def records(self, count):
+        return [ProvenanceRecord(ObjectRef(i, 0), Attr.NAME, f"f{i}")
+                for i in range(count)]
+
+    def test_all_records_preserved_in_order(self):
+        records = self.records(50)
+        out = [record for chunk, _ in _chunk_records(records, 100)
+               for record in chunk]
+        assert out == records
+
+    def test_chunks_respect_limit(self):
+        records = self.records(50)
+        for chunk, nbytes in _chunk_records(records, 100):
+            assert nbytes <= 100 or len(chunk) == 1
+            assert nbytes == sum(codec.encoded_size(r) for r in chunk)
+
+    def test_single_oversized_record_gets_own_chunk(self):
+        big = ProvenanceRecord(ObjectRef(1, 0), Attr.ANNOTATION, "x" * 500)
+        chunks = list(_chunk_records([big], 100))
+        assert len(chunks) == 1
+
+    def test_empty_input(self):
+        assert list(_chunk_records([], 100)) == []
+
+
+def make_pair(provenance=True):
+    clock = SimClock()
+    server_sys = System.boot(provenance=provenance, hostname="s",
+                             clock=clock, pass_volumes=("export",),
+                             plain_volumes=())
+    server = NFSServer(server_sys, "export")
+    client_sys = System.boot(provenance=provenance, hostname="c",
+                             clock=clock,
+                             pass_volumes=("local",) if provenance else (),
+                             plain_volumes=("scratch",))
+    client = NFSClient(client_sys, server)
+    return server_sys, server, client_sys, client
+
+
+class TestProxyNamespace:
+    def test_lazy_lookup_caches(self):
+        server_sys, server, client_sys, client = make_pair()
+        with server_sys.process() as proc:
+            fd = proc.open("/export/pre", "w")
+            proc.write(fd, b"1")
+            proc.close(fd)
+        lookups_before = server.op_counts["LOOKUP"]
+        with client_sys.process() as proc:
+            proc.exists("/nfs/pre")
+            proc.exists("/nfs/pre")
+            proc.exists("/nfs/pre")
+        # Only the first resolution goes over the wire.
+        assert server.op_counts["LOOKUP"] == lookups_before + 1
+
+    def test_negative_lookup_not_cached(self):
+        server_sys, server, client_sys, client = make_pair()
+        with client_sys.process() as proc:
+            assert not proc.exists("/nfs/ghost")
+            before = server.op_counts["LOOKUP"]
+            assert not proc.exists("/nfs/ghost")
+        assert server.op_counts["LOOKUP"] == before + 1
+
+    def test_readdir_fetches_full_listing(self):
+        server_sys, server, client_sys, client = make_pair()
+        with server_sys.process() as proc:
+            for name in ("a", "b", "c"):
+                fd = proc.open(f"/export/{name}", "w")
+                proc.write(fd, b"1")
+                proc.close(fd)
+        with client_sys.process() as proc:
+            assert proc.readdir("/nfs") == ["a", "b", "c"]
+
+    def test_proxy_size_tracks_writes(self):
+        server_sys, server, client_sys, client = make_pair()
+        with client_sys.process() as proc:
+            fd = proc.open("/nfs/grow", "w")
+            proc.write(fd, b"12345")
+            proc.close(fd)
+            assert proc.stat("/nfs/grow")["size"] == 5
+
+    def test_revalidate_refreshes_attributes(self):
+        server_sys, server, client_sys, client = make_pair()
+        with client_sys.process() as proc:
+            fd = proc.open("/nfs/shared", "w")
+            proc.write(fd, b"base")
+            proc.close(fd)
+        # Server-side growth invisible to the client until revalidate.
+        with server_sys.process() as proc:
+            fd = proc.open("/export/shared", "a")
+            proc.write(fd, b"-more")
+            proc.close(fd)
+        client.revalidate("/nfs/shared")
+        with client_sys.process() as proc:
+            assert proc.stat("/nfs/shared")["size"] == 9
+
+
+class TestServerFaults:
+    def test_crashed_server_rejects_ops(self):
+        server_sys, server, client_sys, client = make_pair()
+        server.crash()
+        with pytest.raises(StaleHandle):
+            server.op_root()
+        server.restart()
+        server.op_root()
+
+    def test_stale_handle(self):
+        server_sys, server, client_sys, client = make_pair()
+        with pytest.raises(StaleHandle):
+            server.op_getattr(424242)
+
+    def test_unknown_txn_rejected(self):
+        server_sys, server, client_sys, client = make_pair()
+        with pytest.raises(TransactionError):
+            server.op_passprov(999, [])
+        with pytest.raises(TransactionError):
+            server.op_endtxn(999, ObjectRef(1, 0))
+
+    def test_op_counters_track(self):
+        server_sys, server, client_sys, client = make_pair()
+        with client_sys.process() as proc:
+            fd = proc.open("/nfs/f", "w")
+            proc.write(fd, b"data")
+            proc.close(fd)
+        assert server.op_counts["CREATE"] == 1
+        assert server.op_counts["LINK"] == 1
+        assert server.op_counts["PASSWRITE"] == 1

@@ -1,0 +1,113 @@
+"""Unit tests for the OEM graph and query-engine plumbing."""
+
+import pytest
+
+from repro.core.pnode import ObjectRef
+from repro.core.records import Attr, ObjType, ProvenanceRecord
+from repro.pql.engine import QueryEngine
+from repro.pql.oem import OEMGraph
+
+
+def R(pnode, version, attr, value):
+    return ProvenanceRecord(ObjectRef(pnode, version), attr, value)
+
+
+class TestGraphConstruction:
+    def test_one_node_per_version(self):
+        graph = OEMGraph.build([
+            R(1, 0, Attr.TYPE, ObjType.FILE),
+            R(1, 1, Attr.PREV_VERSION, ObjectRef(1, 0)),
+        ])
+        assert len(graph) == 2
+        assert [n.ref.version for n in graph.versions_of(1)] == [0, 1]
+
+    def test_plain_values_become_atoms(self):
+        graph = OEMGraph.build([R(1, 0, Attr.PID, 42)])
+        node = graph.node(ObjectRef(1, 0))
+        assert node.atom("pid") == [42]
+
+    def test_xrefs_become_edges_both_directions(self):
+        graph = OEMGraph.build([
+            R(1, 0, Attr.INPUT, ObjectRef(2, 0)),
+        ])
+        child = graph.node(ObjectRef(1, 0))
+        parent = graph.node(ObjectRef(2, 0))
+        assert child.out("input") == [parent]
+        assert parent.rin("input") == [child]
+
+    def test_framing_records_excluded(self):
+        graph = OEMGraph.build([
+            R(1, 0, Attr.BEGINTXN, 7),
+            R(1, 0, Attr.ENDTXN, 7),
+            R(1, 0, Attr.NAME, "real"),
+        ])
+        node = graph.node(ObjectRef(1, 0))
+        assert "begintxn" not in node.atoms
+        assert node.name == "real"
+
+    def test_identity_atoms_shared_across_versions(self):
+        graph = OEMGraph.build([
+            R(1, 0, Attr.NAME, "/f"),
+            R(1, 0, Attr.TYPE, ObjType.FILE),
+            R(1, 2, Attr.ANNOTATION, "only-v2"),
+        ])
+        v2 = graph.node(ObjectRef(1, 2))
+        assert v2.name == "/f"
+        assert v2.type == ObjType.FILE
+        # Non-identity atoms stay per-version.
+        v0 = graph.node(ObjectRef(1, 0))
+        assert v0.atom("annotation") == []
+
+    def test_multiple_names_all_kept(self):
+        graph = OEMGraph.build([
+            R(1, 0, Attr.NAME, "/old"),
+            R(1, 0, Attr.NAME, "/new"),
+        ])
+        assert graph.node(ObjectRef(1, 0)).atom("name") == ["/old", "/new"]
+
+    def test_members_classified_by_type(self):
+        graph = OEMGraph.build([
+            R(1, 0, Attr.TYPE, ObjType.FILE),
+            R(2, 0, Attr.TYPE, ObjType.PROCESS),
+            R(3, 0, Attr.PID, 9),          # untyped
+        ])
+        assert len(graph.members("file")) == 1
+        assert len(graph.members("process")) == 1
+        assert len(graph.members("node")) == 3
+        assert "file" in graph.member_names()
+
+    def test_stub_nodes_for_referenced_only_objects(self):
+        graph = OEMGraph.build([
+            R(1, 0, Attr.INPUT, ObjectRef(99, 3)),
+        ])
+        stub = graph.node(ObjectRef(99, 3))
+        assert stub is not None
+        assert stub.atoms == {}
+
+
+class TestEngine:
+    def test_from_databases_merges(self):
+        from repro.storage.database import ProvenanceDatabase
+        db1 = ProvenanceDatabase("a")
+        db2 = ProvenanceDatabase("b")
+        db1.insert(R(1, 0, Attr.TYPE, ObjType.FILE))
+        db2.insert(R(2, 0, Attr.TYPE, ObjType.FILE))
+        engine = QueryEngine.from_databases([db1, db2])
+        assert engine.execute("select count(F) from Provenance.file as F") \
+            == [2]
+
+    def test_parse_cache(self):
+        engine = QueryEngine.from_records([])
+        text = "select F from Provenance.file as F"
+        assert engine.parse(text) is engine.parse(text)
+
+    def test_execute_refs_conversion(self):
+        engine = QueryEngine.from_records([
+            R(5, 1, Attr.TYPE, ObjType.FILE),
+            R(5, 1, Attr.NAME, "/x"),
+        ])
+        refs = engine.execute_refs("select F from Provenance.file as F")
+        assert refs == [ObjectRef(5, 1)]
+        rows = engine.execute_refs(
+            "select F, F.name from Provenance.file as F")
+        assert rows == [(ObjectRef(5, 1), "/x")]

@@ -1,0 +1,81 @@
+"""Unit tests for pnode numbers and object identity."""
+
+import pytest
+
+from repro.core.pnode import (
+    TRANSIENT_VOLUME,
+    ObjectRef,
+    PnodeAllocator,
+    local_of,
+    make_pnode,
+    volume_of,
+)
+
+
+class TestMakePnode:
+    def test_roundtrip_volume_and_local(self):
+        pnode = make_pnode(7, 123)
+        assert volume_of(pnode) == 7
+        assert local_of(pnode) == 123
+
+    def test_distinct_volumes_never_collide(self):
+        assert make_pnode(1, 5) != make_pnode(2, 5)
+
+    def test_transient_volume_is_zero(self):
+        assert volume_of(make_pnode(TRANSIENT_VOLUME, 9)) == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            make_pnode(-1, 1)
+        with pytest.raises(ValueError):
+            make_pnode(1, -1)
+
+    def test_rejects_counter_overflow(self):
+        with pytest.raises(ValueError):
+            make_pnode(1, 1 << 40)
+
+
+class TestPnodeAllocator:
+    def test_monotonic_and_unique(self):
+        alloc = PnodeAllocator(3)
+        issued = [alloc.allocate() for _ in range(100)]
+        assert len(set(issued)) == 100
+        assert issued == sorted(issued)
+
+    def test_first_local_counter_is_one(self):
+        alloc = PnodeAllocator(3)
+        assert local_of(alloc.allocate()) == 1
+
+    def test_volume_id_embedded(self):
+        alloc = PnodeAllocator(5)
+        assert volume_of(alloc.allocate()) == 5
+
+    def test_restore_moves_forward_only(self):
+        alloc = PnodeAllocator(1)
+        alloc.allocate()
+        alloc.restore(10)
+        assert local_of(alloc.allocate()) == 10
+        with pytest.raises(ValueError):
+            alloc.restore(2)
+
+    def test_zero_start_rejected(self):
+        with pytest.raises(ValueError):
+            PnodeAllocator(1, start=0)
+
+
+class TestObjectRef:
+    def test_is_a_tuple(self):
+        ref = ObjectRef(10, 2)
+        assert ref == (10, 2)
+        assert ref.pnode == 10
+        assert ref.version == 2
+
+    def test_str_form(self):
+        assert str(ObjectRef(10, 2)) == "10:2"
+
+    def test_volume_id_property(self):
+        ref = ObjectRef(make_pnode(4, 77), 0)
+        assert ref.volume_id == 4
+
+    def test_hashable_and_distinct_by_version(self):
+        assert len({ObjectRef(1, 0), ObjectRef(1, 1)}) == 2

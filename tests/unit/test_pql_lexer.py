@@ -1,0 +1,71 @@
+"""Unit tests for the PQL lexer."""
+
+import pytest
+
+from repro.core.errors import PQLSyntaxError
+from repro.pql.lexer import tokenize
+
+
+def kinds(text):
+    return [(t.kind, t.text) for t in tokenize(text)[:-1]]
+
+
+class TestBasics:
+    def test_keywords_case_insensitive(self):
+        assert kinds("SELECT Select select") == [("keyword", "select")] * 3
+
+    def test_identifiers_case_sensitive(self):
+        assert kinds("Atlas atlas") == [("ident", "Atlas"), ("ident", "atlas")]
+
+    def test_eof_token_always_present(self):
+        assert tokenize("")[-1].kind == "eof"
+        assert tokenize("x")[-1].kind == "eof"
+
+    def test_string_double_and_single_quotes(self):
+        assert kinds('"abc"') == [("string", "abc")]
+        assert kinds("'abc'") == [("string", "abc")]
+
+    def test_string_escapes(self):
+        assert kinds(r'"a\"b\n"') == [("string", 'a"b\n')]
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(PQLSyntaxError):
+            tokenize('"oops')
+
+    def test_numbers(self):
+        assert kinds("42 3.5") == [("number", "42"), ("number", "3.5")]
+
+    def test_number_dot_ident_not_float(self):
+        # 'x.3' is invalid anyway; '3.input' must lex as number-dot-ident.
+        assert kinds("3.input")[0] == ("number", "3")
+
+    def test_operators(self):
+        assert kinds("<= >= != = < >") == [
+            ("op", "<="), ("op", ">="), ("op", "!="),
+            ("op", "="), ("op", "<"), ("op", ">"),
+        ]
+
+    def test_double_equals_normalized(self):
+        assert kinds("a == b")[1] == ("op", "=")
+
+    def test_path_symbols(self):
+        assert kinds("A.input*") == [
+            ("ident", "A"), ("op", "."), ("ident", "input"), ("op", "*"),
+        ]
+
+    def test_caret(self):
+        assert ("op", "^") in kinds("A.^input")
+
+    def test_comments_skipped(self):
+        assert kinds("a # comment\n b") == [("ident", "a"), ("ident", "b")]
+
+    def test_unknown_char_raises_with_position(self):
+        with pytest.raises(PQLSyntaxError) as info:
+            tokenize("a\n  @")
+        assert info.value.line == 2
+
+    def test_positions_tracked(self):
+        tokens = tokenize("select\n  Foo")
+        assert tokens[0].line == 1
+        assert tokens[1].line == 2
+        assert tokens[1].column == 2

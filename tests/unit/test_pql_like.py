@@ -1,0 +1,95 @@
+"""Tests for the PQL LIKE operator (pattern matching over atoms)."""
+
+import pytest
+
+from repro.core.pnode import ObjectRef
+from repro.core.records import Attr, ObjType, ProvenanceRecord
+from repro.pql import ast
+from repro.pql.engine import QueryEngine
+from repro.pql.parser import parse
+
+
+@pytest.fixture
+def engine():
+    def R(pnode, attr, value):
+        return ProvenanceRecord(ObjectRef(pnode, 0), attr, value)
+
+    return QueryEngine.from_records([
+        R(1, Attr.TYPE, ObjType.FILE),
+        R(1, Attr.NAME, "/data/exp001.xml"),
+        R(2, Attr.TYPE, ObjType.FILE),
+        R(2, Attr.NAME, "/data/exp002.xml"),
+        R(3, Attr.TYPE, ObjType.FILE),
+        R(3, Attr.NAME, "/data/readme.txt"),
+        R(4, Attr.TYPE, ObjType.FILE),
+        R(4, Attr.NAME, "/etc/config"),
+    ])
+
+
+def names(rows):
+    return sorted(str(row) for row in rows)
+
+
+class TestLikeParsing:
+    def test_like_parses_as_comparison(self):
+        query = parse('select F from Provenance.file as F '
+                      'where F.name like "%.xml"')
+        assert isinstance(query.where, ast.Compare)
+        assert query.where.op == "like"
+
+    def test_not_like(self):
+        query = parse('select F from Provenance.file as F '
+                      'where F.name not like "%.xml"')
+        assert isinstance(query.where, ast.Not)
+
+
+class TestLikeSemantics:
+    def test_suffix_wildcard(self, engine):
+        rows = engine.execute('select F.name from Provenance.file as F '
+                              'where F.name like "%.xml"')
+        assert names(rows) == ["/data/exp001.xml", "/data/exp002.xml"]
+
+    def test_prefix_wildcard(self, engine):
+        rows = engine.execute('select F.name from Provenance.file as F '
+                              'where F.name like "/data/%"')
+        assert len(rows) == 3
+
+    def test_underscore_single_char(self, engine):
+        rows = engine.execute('select F.name from Provenance.file as F '
+                              'where F.name like "/data/exp00_.xml"')
+        assert len(rows) == 2
+
+    def test_exact_match_without_wildcards(self, engine):
+        rows = engine.execute('select F.name from Provenance.file as F '
+                              'where F.name like "/etc/config"')
+        assert names(rows) == ["/etc/config"]
+
+    def test_no_match(self, engine):
+        rows = engine.execute('select F from Provenance.file as F '
+                              'where F.name like "%.pdf"')
+        assert rows == []
+
+    def test_not_like(self, engine):
+        rows = engine.execute('select F.name from Provenance.file as F '
+                              'where F.name not like "%.xml"')
+        assert names(rows) == ["/data/readme.txt", "/etc/config"]
+
+    def test_regex_metacharacters_are_literal(self, engine):
+        # '.' in the pattern must not act as a regex wildcard.
+        rows = engine.execute('select F.name from Provenance.file as F '
+                              'where F.name like "/data/exp001.xml"')
+        assert names(rows) == ["/data/exp001.xml"]
+        rows = engine.execute('select F from Provenance.file as F '
+                              'where F.name like "/data/exp001Zxml"')
+        assert rows == []
+
+    def test_like_against_non_string_is_false(self, engine):
+        rows = engine.execute('select F from Provenance.file as F '
+                              'where F.version like "%"')
+        assert rows == []
+
+    def test_like_in_combination(self, engine):
+        rows = engine.execute(
+            'select F.name from Provenance.file as F '
+            'where F.name like "/data/%" and not F.name like "%.txt"')
+        assert names(rows) == ["/data/exp001.xml", "/data/exp002.xml"]

@@ -1,0 +1,122 @@
+"""Tests for PQL ORDER BY and evaluator edge cases."""
+
+import pytest
+
+from repro.core.errors import PQLSyntaxError, PQLTypeError
+from repro.core.pnode import ObjectRef
+from repro.core.records import Attr, ObjType, ProvenanceRecord
+from repro.pql.engine import QueryEngine
+
+
+def R(pnode, attr, value):
+    return ProvenanceRecord(ObjectRef(pnode, 0), attr, value)
+
+
+@pytest.fixture
+def engine():
+    return QueryEngine.from_records([
+        R(1, Attr.TYPE, ObjType.PROCESS), R(1, Attr.NAME, "charlie"),
+        R(1, Attr.PID, 30),
+        R(2, Attr.TYPE, ObjType.PROCESS), R(2, Attr.NAME, "alpha"),
+        R(2, Attr.PID, 10),
+        R(3, Attr.TYPE, ObjType.PROCESS), R(3, Attr.NAME, "bravo"),
+        R(3, Attr.PID, 20),
+        R(4, Attr.TYPE, ObjType.PROCESS), R(4, Attr.NAME, "delta"),
+        # no PID: sorts last ascending
+    ])
+
+
+class TestOrderBy:
+    def test_ascending_by_string(self, engine):
+        rows = engine.execute(
+            "select P.name from Provenance.process as P order by P.name")
+        assert rows == ["alpha", "bravo", "charlie", "delta"]
+
+    def test_descending(self, engine):
+        rows = engine.execute(
+            "select P.name from Provenance.process as P "
+            "order by P.name desc")
+        assert rows == ["delta", "charlie", "bravo", "alpha"]
+
+    def test_explicit_asc(self, engine):
+        rows = engine.execute(
+            "select P.pid from Provenance.process as P "
+            "where P.pid order by P.pid asc")
+        assert rows == [10, 20, 30]
+
+    def test_order_by_different_attr_than_selected(self, engine):
+        rows = engine.execute(
+            "select P.name from Provenance.process as P "
+            "where P.pid order by P.pid desc")
+        assert rows == ["charlie", "bravo", "alpha"]
+
+    def test_missing_key_sorts_last_ascending(self, engine):
+        rows = engine.execute(
+            "select P.name from Provenance.process as P order by P.pid")
+        assert rows[-1] == "delta"
+
+    def test_order_with_limit(self, engine):
+        rows = engine.execute(
+            "select P.name from Provenance.process as P "
+            "order by P.name desc limit 2")
+        assert rows == ["delta", "charlie"]
+
+    def test_order_by_expression(self, engine):
+        rows = engine.execute(
+            "select P.pid from Provenance.process as P "
+            "where P.pid order by 0 - P.pid")
+        assert rows == [30, 20, 10]
+
+    def test_order_requires_by(self, engine):
+        with pytest.raises(PQLSyntaxError):
+            engine.execute(
+                "select P from Provenance.process as P order P.name")
+
+
+class TestEvaluatorEdgeCases:
+    def test_division_by_zero(self, engine):
+        with pytest.raises(PQLTypeError):
+            engine.execute(
+                "select P from Provenance.process as P "
+                "where P.pid / 0 > 1")
+
+    def test_modulo_by_zero(self, engine):
+        with pytest.raises(PQLTypeError):
+            engine.execute(
+                "select P from Provenance.process as P "
+                "where P.pid % 0 = 1")
+
+    def test_arithmetic_skips_non_numbers(self, engine):
+        rows = engine.execute(
+            "select P.name + 1 from Provenance.process as P "
+            'where P.name = "alpha"')
+        assert rows == []          # string + int silently yields nothing
+
+    def test_negation_of_string_is_empty(self, engine):
+        rows = engine.execute(
+            "select -P.name from Provenance.process as P")
+        assert rows == []
+
+    def test_aggregates_over_empty_sets(self, engine):
+        assert engine.execute(
+            'select sum(P.pid) from Provenance.pipe as P') == [0]
+        assert engine.execute(
+            'select min(P.pid) from Provenance.pipe as P') == [None]
+        assert engine.execute(
+            'select avg(P.pid) from Provenance.pipe as P') == [0.0]
+        assert engine.execute(
+            'select count(P) from Provenance.pipe as P') == [0]
+
+    def test_float_division_result(self, engine):
+        rows = engine.execute(
+            "select P.pid / 4 from Provenance.process as P "
+            'where P.name = "alpha"')
+        assert rows == [2.5]
+
+    def test_bool_literal_comparison(self, engine):
+        rows = engine.execute(
+            "select P from Provenance.process as P where true")
+        assert len(rows) == 4
+        rows = engine.execute(
+            "select P from Provenance.process as P where false")
+        assert rows == []

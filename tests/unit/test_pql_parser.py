@@ -1,0 +1,169 @@
+"""Unit tests for the PQL parser."""
+
+import pytest
+
+from repro.core.errors import PQLSyntaxError
+from repro.pql import ast
+from repro.pql.parser import parse
+
+PAPER_QUERY = """
+select Ancestor
+from Provenance.file as Atlas
+     Atlas.input* as Ancestor
+where Atlas.name = "atlas-x.gif"
+"""
+
+
+class TestQueryShape:
+    def test_paper_query_parses(self):
+        query = parse(PAPER_QUERY)
+        assert len(query.select) == 1
+        assert len(query.bindings) == 2
+        assert query.where is not None
+
+    def test_bindings(self):
+        query = parse(PAPER_QUERY)
+        first, second = query.bindings
+        assert first.name == "Atlas"
+        assert first.path.root == "Provenance"
+        assert first.path.steps[0].edge == ast.EdgeName("file")
+        assert second.name == "Ancestor"
+        assert second.path.root == "Atlas"
+        assert second.path.steps[0].quantifier == ast.Quantifier.star()
+
+    def test_where_comparison(self):
+        query = parse(PAPER_QUERY)
+        where = query.where
+        assert isinstance(where, ast.Compare)
+        assert where.op == "="
+        assert isinstance(where.left, ast.PathValue)
+        assert where.right == ast.Literal("atlas-x.gif")
+
+    def test_comma_separated_bindings(self):
+        query = parse("select A from Provenance.file as A, A.input as B")
+        assert [b.name for b in query.bindings] == ["A", "B"]
+
+    def test_missing_from_raises(self):
+        with pytest.raises(PQLSyntaxError):
+            parse("select A where x = 1")
+
+    def test_missing_alias_raises(self):
+        with pytest.raises(PQLSyntaxError):
+            parse("select A from Provenance.file")
+
+    def test_trailing_garbage_raises(self):
+        with pytest.raises(PQLSyntaxError):
+            parse("select A from Provenance.file as A zzz blah +")
+
+
+class TestPathSyntax:
+    def binding_path(self, text):
+        return parse(f"select A from {text} as A").bindings[0].path
+
+    def test_plus_quantifier(self):
+        path = self.binding_path("Provenance.file.input+")
+        assert path.steps[1].quantifier == ast.Quantifier.plus()
+
+    def test_question_quantifier(self):
+        path = self.binding_path("Provenance.file.input?")
+        assert path.steps[1].quantifier == ast.Quantifier.opt()
+
+    def test_bounded_quantifier(self):
+        path = self.binding_path("Provenance.file.input{2,5}")
+        assert path.steps[1].quantifier == ast.Quantifier(2, 5)
+
+    def test_exact_quantifier(self):
+        path = self.binding_path("Provenance.file.input{3}")
+        assert path.steps[1].quantifier == ast.Quantifier(3, 3)
+
+    def test_open_quantifier(self):
+        path = self.binding_path("Provenance.file.input{2,}")
+        assert path.steps[1].quantifier == ast.Quantifier(2, None)
+
+    def test_bad_bounds_raise(self):
+        with pytest.raises(PQLSyntaxError):
+            self.binding_path("Provenance.file.input{5,2}")
+
+    def test_reverse_edge(self):
+        path = self.binding_path("Provenance.file.^input")
+        assert path.steps[1].edge == ast.EdgeName("input", reverse=True)
+
+    def test_alternation(self):
+        path = self.binding_path("Provenance.file.(input|forkparent)*")
+        edge = path.steps[1].edge
+        assert isinstance(edge, ast.EdgeAlt)
+        assert edge.options == (ast.EdgeName("input"),
+                                ast.EdgeName("forkparent"))
+
+    def test_alternation_with_reverse(self):
+        path = self.binding_path("Provenance.file.(input|^input)*")
+        assert path.steps[1].edge.options[1].reverse
+
+
+class TestExpressions:
+    def where_of(self, text):
+        return parse(f"select A from Provenance.file as A where {text}").where
+
+    def test_and_or_precedence(self):
+        expr = self.where_of("a = 1 or b = 2 and c = 3")
+        assert isinstance(expr, ast.BoolOp) and expr.op == "or"
+        assert isinstance(expr.operands[1], ast.BoolOp)
+        assert expr.operands[1].op == "and"
+
+    def test_not(self):
+        expr = self.where_of("not A.name = 'x'")
+        assert isinstance(expr, ast.Not)
+
+    def test_parenthesized(self):
+        expr = self.where_of("(a = 1 or b = 2) and c = 3")
+        assert expr.op == "and"
+
+    def test_arithmetic_precedence(self):
+        expr = self.where_of("x = 1 + 2 * 3")
+        right = expr.right
+        assert isinstance(right, ast.Arith) and right.op == "+"
+        assert isinstance(right.right, ast.Arith) and right.right.op == "*"
+
+    def test_star_disambiguation_multiplication(self):
+        expr = self.where_of("A.version * 2 = 4")
+        assert isinstance(expr.left, ast.Arith)
+
+    def test_star_disambiguation_quantifier(self):
+        expr = self.where_of("count(A.input*) > 3")
+        call = expr.left
+        assert isinstance(call, ast.Call)
+        path = call.args[0].path
+        assert path.steps[0].quantifier == ast.Quantifier.star()
+
+    def test_in_subquery(self):
+        expr = self.where_of(
+            "A.name in (select B.name from Provenance.process as B)")
+        assert isinstance(expr, ast.InQuery)
+        assert len(expr.query.bindings) == 1
+
+    def test_exists_subquery(self):
+        expr = self.where_of(
+            "exists (select B from A.input as B)")
+        assert isinstance(expr, ast.ExistsQuery)
+
+    def test_aggregate_calls(self):
+        for func in ("count", "sum", "avg", "min", "max"):
+            expr = self.where_of(f"{func}(A.input) > 0")
+            assert isinstance(expr.left, ast.Call)
+            assert expr.left.name == func
+
+    def test_boolean_literals(self):
+        expr = self.where_of("A.tainted = true")
+        assert expr.right == ast.Literal(True)
+
+    def test_negative_number(self):
+        expr = self.where_of("A.version > -1")
+        assert isinstance(expr.right, ast.Neg)
+
+    def test_select_alias(self):
+        query = parse("select A.name as FileName from Provenance.file as A")
+        assert query.select[0].alias == "FileName"
+
+    def test_multiple_select_items(self):
+        query = parse("select A.name, A.version from Provenance.file as A")
+        assert len(query.select) == 2

@@ -1,0 +1,92 @@
+"""Unit tests for provenance records and bundles."""
+
+import pytest
+
+from repro.core.errors import InvalidRecord
+from repro.core.pnode import ObjectRef
+from repro.core.records import Attr, Bundle, ProvenanceRecord
+
+
+def rec(pnode=1, version=0, attr=Attr.NAME, value="x"):
+    return ProvenanceRecord(ObjectRef(pnode, version), attr, value)
+
+
+class TestProvenanceRecord:
+    def test_plain_value_record(self):
+        record = rec(value="hello")
+        assert not record.is_xref
+        assert not record.is_ancestry
+
+    def test_xref_record(self):
+        record = rec(attr=Attr.INPUT, value=ObjectRef(2, 0))
+        assert record.is_xref
+        assert record.is_ancestry
+
+    def test_xref_with_non_ancestry_attr(self):
+        record = rec(attr=Attr.CURRENT_URL, value=ObjectRef(2, 0))
+        assert record.is_xref
+        assert not record.is_ancestry
+
+    def test_ancestry_attr_with_plain_value_is_not_ancestry(self):
+        record = rec(attr=Attr.INPUT, value="not-a-ref")
+        assert not record.is_ancestry
+
+    def test_rejects_bad_subject(self):
+        with pytest.raises(InvalidRecord):
+            ProvenanceRecord((1, 0), Attr.NAME, "x")  # plain tuple
+
+    def test_rejects_empty_attr(self):
+        with pytest.raises(InvalidRecord):
+            ProvenanceRecord(ObjectRef(1, 0), "", "x")
+
+    def test_rejects_bad_value_type(self):
+        with pytest.raises(InvalidRecord):
+            ProvenanceRecord(ObjectRef(1, 0), Attr.NAME, ["list"])
+
+    def test_key_distinguishes_value_types(self):
+        # 1 == True in Python; the dedup key must keep them apart.
+        a = rec(attr=Attr.ANNOTATION, value=1)
+        b = rec(attr=Attr.ANNOTATION, value=True)
+        assert a.key() != b.key()
+
+    def test_key_distinguishes_ref_from_tuple_like_int(self):
+        a = rec(attr=Attr.INPUT, value=ObjectRef(5, 1))
+        b = rec(attr=Attr.INPUT, value=5)
+        assert a.key() != b.key()
+
+    def test_frozen(self):
+        record = rec()
+        with pytest.raises(AttributeError):
+            record.attr = "other"
+
+
+class TestBundle:
+    def test_iteration_preserves_order(self):
+        records = [rec(value=str(i)) for i in range(5)]
+        bundle = Bundle(records)
+        assert list(bundle) == records
+
+    def test_add_and_len(self):
+        bundle = Bundle()
+        assert not bundle
+        bundle.add(rec())
+        assert len(bundle) == 1
+        assert bundle
+
+    def test_subjects_first_occurrence_order(self):
+        bundle = Bundle([
+            rec(pnode=2), rec(pnode=1), rec(pnode=2, attr=Attr.TYPE),
+        ])
+        assert [ref.pnode for ref in bundle.subjects()] == [2, 1]
+
+    def test_rejects_non_records(self):
+        with pytest.raises(InvalidRecord):
+            Bundle(["nope"])
+        bundle = Bundle()
+        with pytest.raises(InvalidRecord):
+            bundle.add("nope")
+
+    def test_extend(self):
+        bundle = Bundle()
+        bundle.extend([rec(), rec(attr=Attr.TYPE)])
+        assert len(bundle) == 2

@@ -1,0 +1,129 @@
+"""Tests for the report module and the PQL LIMIT clause."""
+
+import pytest
+
+from repro.core.pnode import ObjectRef
+from repro.core.records import Attr, ObjType, ProvenanceRecord
+from repro.pql.engine import QueryEngine
+from repro.query.report import ancestry_tree, summarize_object, to_dot
+from repro.storage.database import ProvenanceDatabase
+
+
+def R(pnode, version, attr, value):
+    return ProvenanceRecord(ObjectRef(pnode, version), attr, value)
+
+
+@pytest.fixture
+def db():
+    database = ProvenanceDatabase()
+    database.insert_many([
+        R(1, 0, Attr.NAME, "/in"),
+        R(1, 0, Attr.TYPE, ObjType.FILE),
+        R(2, 0, Attr.NAME, "cc"),
+        R(2, 0, Attr.TYPE, ObjType.PROCESS),
+        R(2, 0, Attr.INPUT, ObjectRef(1, 0)),
+        R(3, 0, Attr.NAME, "/out"),
+        R(3, 0, Attr.TYPE, ObjType.FILE),
+        R(3, 0, Attr.INPUT, ObjectRef(2, 0)),
+        # A second consumer of the same input (diamond).
+        R(4, 0, Attr.NAME, "ld"),
+        R(4, 0, Attr.TYPE, ObjType.PROCESS),
+        R(4, 0, Attr.INPUT, ObjectRef(1, 0)),
+        R(3, 0, Attr.INPUT, ObjectRef(4, 0)),
+    ])
+    return database
+
+
+class TestAncestryTree:
+    def test_tree_structure(self, db):
+        tree = ancestry_tree([db], ObjectRef(3, 0))
+        lines = tree.splitlines()
+        assert lines[0] == "/out [FILE]"
+        assert "  cc [PROCESS]" in lines
+        assert "    /in [FILE]" in lines
+
+    def test_repeated_nodes_folded(self, db):
+        tree = ancestry_tree([db], ObjectRef(3, 0))
+        assert tree.count("/in [FILE]") == 2
+        assert "(see above)" in tree
+
+    def test_depth_limit(self, db):
+        # Build a deep chain: 10 <- 11 <- 12 ...
+        for index in range(10, 30):
+            db.insert(R(index, 0, Attr.INPUT, ObjectRef(index + 1, 0)))
+        tree = ancestry_tree([db], ObjectRef(10, 0), max_depth=3)
+        assert "beyond depth limit" in tree
+
+    def test_unnamed_objects_fall_back_to_pnode(self, db):
+        db.insert(R(99, 0, Attr.PID, 7))
+        tree = ancestry_tree([db], ObjectRef(99, 0))
+        assert "pnode 99" in tree
+
+    def test_version_shown(self, db):
+        db.insert(R(3, 2, Attr.PREV_VERSION, ObjectRef(3, 0)))
+        tree = ancestry_tree([db], ObjectRef(3, 2))
+        assert "v2" in tree
+
+
+class TestDot:
+    def test_dot_contains_nodes_and_edges(self, db):
+        dot = to_dot([db], [ObjectRef(3, 0)])
+        assert dot.startswith("digraph provenance")
+        assert 'label="/out [FILE]"' in dot
+        assert "n3_0 -> n2_0" in dot
+        assert 'label="input"' in dot
+
+    def test_dot_descendants_direction(self, db):
+        dot = to_dot([db], [ObjectRef(1, 0)], direction="descendants")
+        assert "n2_0 -> n1_0" in dot
+
+    def test_dot_node_cap(self, db):
+        for index in range(100, 160):
+            db.insert(R(index, 0, Attr.INPUT, ObjectRef(index + 1, 0)))
+        dot = to_dot([db], [ObjectRef(100, 0)], max_nodes=5)
+        import re
+        node_lines = [line for line in dot.splitlines()
+                      if re.match(r"^  n\d+_\d+ \[label=", line)]
+        assert len(node_lines) == 5
+
+    def test_bad_direction(self, db):
+        with pytest.raises(ValueError):
+            to_dot([db], [ObjectRef(1, 0)], direction="sideways")
+
+
+class TestSummarize:
+    def test_summary_lists_records(self, db):
+        text = summarize_object([db], ObjectRef(3, 0))
+        assert "/out" in text
+        assert Attr.INPUT in text
+        assert "cc [PROCESS]" in text
+
+
+class TestLimit:
+    @pytest.fixture
+    def engine(self, db):
+        return QueryEngine.from_records(db.all_records())
+
+    def test_limit_truncates(self, engine):
+        rows = engine.execute("select N from Provenance.node as N limit 2")
+        assert len(rows) == 2
+
+    def test_limit_zero(self, engine):
+        assert engine.execute(
+            "select N from Provenance.node as N limit 0") == []
+
+    def test_limit_larger_than_results(self, engine):
+        rows = engine.execute(
+            "select F from Provenance.file as F limit 100")
+        assert len(rows) == 2
+
+    def test_limit_after_where(self, engine):
+        rows = engine.execute(
+            'select F from Provenance.file as F '
+            'where F.name like "%" limit 1')
+        assert len(rows) == 1
+
+    def test_negative_limit_rejected(self, engine):
+        from repro.core.errors import PQLSyntaxError
+        with pytest.raises(PQLSyntaxError):
+            engine.execute("select F from Provenance.file as F limit -1")

@@ -1,0 +1,108 @@
+"""Unit tests for the workload harness and the five workloads."""
+
+import pytest
+
+from repro.workloads import (
+    ALL_WORKLOADS,
+    BlastWorkload,
+    CompileWorkload,
+    KeplerWorkload,
+    MercurialWorkload,
+    PostmarkWorkload,
+)
+from repro.workloads.base import overhead_pct, run_local, run_nfs
+
+SMALL = 0.05
+
+
+class TestHarness:
+    def test_result_fields_populated(self):
+        result = run_local(BlastWorkload(scale=SMALL), provenance=True)
+        assert result.workload == "Blast"
+        assert result.config == "passv2"
+        assert result.elapsed > 0
+        assert result.bytes_written > 0
+        assert result.provenance_bytes > 0
+        assert result.index_bytes > 0
+        assert result.breakdown
+
+    def test_baseline_has_no_provenance(self):
+        result = run_local(BlastWorkload(scale=SMALL), provenance=False)
+        assert result.config == "ext3"
+        assert result.provenance_bytes == 0
+        assert "provenance_cpu" not in result.breakdown
+
+    def test_overhead_pct(self):
+        from repro.workloads.base import WorkloadResult
+        base = WorkloadResult("w", "ext3", 100.0, 0)
+        passv2 = WorkloadResult("w", "passv2", 110.0, 0)
+        assert overhead_pct(base, passv2) == pytest.approx(10.0)
+        zero = WorkloadResult("w", "ext3", 0.0, 0)
+        assert overhead_pct(zero, passv2) == 0.0
+
+    def test_nfs_harness_counts_network(self):
+        result = run_nfs(BlastWorkload(scale=SMALL), provenance=False)
+        assert result.config == "nfs"
+        assert result.stats["network_calls"] > 0
+        assert result.breakdown.get("network", 0) > 0
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("workload_cls", ALL_WORKLOADS,
+                             ids=lambda cls: cls.name)
+    def test_same_seed_same_elapsed(self, workload_cls):
+        first = run_local(workload_cls(scale=SMALL, seed=7),
+                          provenance=True)
+        second = run_local(workload_cls(scale=SMALL, seed=7),
+                           provenance=True)
+        assert first.elapsed == second.elapsed
+        assert first.provenance_bytes == second.provenance_bytes
+
+    def test_different_seed_changes_postmark(self):
+        first = run_local(PostmarkWorkload(scale=SMALL, seed=1),
+                          provenance=False)
+        second = run_local(PostmarkWorkload(scale=SMALL, seed=2),
+                           provenance=False)
+        assert first.elapsed != second.elapsed
+
+
+class TestWorkloadShapes:
+    def test_compile_stats(self):
+        result = run_local(CompileWorkload(scale=0.1), provenance=True)
+        assert result.stats["files"] == 32
+        assert result.stats["headers"] == 2
+
+    def test_postmark_transaction_mix(self):
+        result = run_local(PostmarkWorkload(scale=0.1), provenance=False)
+        stats = result.stats
+        total = (stats["reads"] + stats["appends"] + stats["creates"]
+                 + stats["deletes"])
+        assert total == stats["transactions"]
+        assert stats["reads"] > 0 and stats["deletes"] > 0
+
+    def test_mercurial_patch_count(self):
+        result = run_local(MercurialWorkload(scale=0.05), provenance=False)
+        assert result.stats["patches"] == 6
+
+    def test_blast_is_cpu_bound(self):
+        result = run_local(BlastWorkload(scale=SMALL), provenance=False)
+        cpu = result.breakdown.get("user_cpu", 0)
+        assert cpu > result.elapsed * 0.5
+
+    def test_kepler_workload_fires_all_stages(self):
+        result = run_local(KeplerWorkload(scale=SMALL), provenance=True)
+        assert result.stats["firings"] == 5
+
+    def test_kepler_without_provenance_skips_recording(self):
+        result = run_local(KeplerWorkload(scale=SMALL), provenance=False)
+        assert result.provenance_bytes == 0
+
+    def test_mercurial_setup_outside_measurement(self):
+        """The checkout happens in setup(): measured elapsed time covers
+        only the patch series."""
+        workload = MercurialWorkload(scale=SMALL)
+        result = run_local(workload, provenance=False)
+        # If the checkout (hundreds of file creations) were measured,
+        # bytes_written would include the whole tree.
+        tree_bytes = 160 * 192 * 1024 * SMALL
+        assert result.bytes_written < tree_bytes * 10
