@@ -169,16 +169,71 @@ def _interesting_outputs(system: System) -> list[str]:
 
 
 def cmd_fsck(args: argparse.Namespace) -> int:
-    """Integrity-check a saved database export."""
+    """Integrity-check a saved database export; exits nonzero on
+    violations so it composes with `lint` in CI."""
+    import json
+
     from repro.storage.database import ProvenanceDatabase
     from repro.storage.fsck import fsck
 
     database = ProvenanceDatabase.load(args.db)
     report = fsck([database])
-    print(report)
-    for finding in report.findings:
-        print(f"  {finding}")
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report)
+        for finding in report.findings:
+            print(f"  {finding}")
     return 0 if report.clean else 1
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    """Static analysis: PQL queries and source-tree layer discipline."""
+    import os
+
+    from repro.lint import (
+        LintReport,
+        all_rules,
+        check_query_text,
+        check_tree,
+        render_json,
+        render_text,
+    )
+
+    if args.rules:
+        for registered in all_rules():
+            print(f"{registered.code}  {registered.severity:7s} "
+                  f"{registered.title}")
+        return 0
+
+    report = LintReport()
+    if args.query:
+        report.extend(check_query_text(args.query))
+        report.targets_checked += 1
+    for target in args.targets:
+        if not os.path.exists(target):
+            print(f"lint: no such file or directory: {target!r}",
+                  file=sys.stderr)
+            return 2
+        if target.endswith(".pql"):
+            with open(target, "r", encoding="utf-8") as handle:
+                report.extend(check_query_text(handle.read(),
+                                               source=target))
+        elif os.path.isdir(target) or target.endswith(".py"):
+            report.extend(check_tree(target))
+        else:
+            print(f"lint: skipping {target!r} (not a directory, .py, or "
+                  ".pql file)", file=sys.stderr)
+            continue
+        report.targets_checked += 1
+    if not report.targets_checked:
+        print("lint: nothing to check; pass paths and/or --query",
+              file=sys.stderr)
+        return 2
+    print(render_json(report) if args.json else render_text(report))
+    if args.strict and report.warnings:
+        return 1
+    return 0 if report.ok else 1
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
@@ -245,7 +300,24 @@ def main(argv: list[str] | None = None) -> int:
     fsck_cmd = sub.add_parser("fsck",
                               help="integrity-check a saved export")
     fsck_cmd.add_argument("--db", required=True)
+    fsck_cmd.add_argument("--json", action="store_true",
+                          help="machine-readable report for CI")
     fsck_cmd.set_defaults(func=cmd_fsck)
+
+    lint = sub.add_parser(
+        "lint", help="static analysis: PQL queries and layer discipline")
+    lint.add_argument("targets", nargs="*", metavar="PATH",
+                      help="directories / .py files (layer discipline) "
+                           "or .pql files (query checks)")
+    lint.add_argument("--query", metavar="TEXT",
+                      help="PQL query text to check statically")
+    lint.add_argument("--json", action="store_true",
+                      help="machine-readable report for CI")
+    lint.add_argument("--strict", action="store_true",
+                      help="exit nonzero on warnings too")
+    lint.add_argument("--rules", action="store_true",
+                      help="list every registered PL### rule and exit")
+    lint.set_defaults(func=cmd_lint)
 
     bench = sub.add_parser("bench", help="quick Table 2 (left) run")
     bench.add_argument("--scale", type=float, default=0.2)

@@ -110,16 +110,27 @@ class NotPassVolume(VolumeError):
 
 
 class PQLError(ReproError):
-    """Base class for Path Query Language errors."""
+    """Base class for Path Query Language errors.
+
+    Every PQL error can carry the query position it refers to; the
+    lexer/parser always supply one, the evaluator and the static
+    analyzer supply one whenever the AST node they reject has one.
+    """
+
+    def __init__(self, message: str, line: int | None = None,
+                 column: int | None = None):
+        if line is not None:
+            message = f"{message} (line {line}, column {column})"
+        super().__init__(message)
+        self.line = line
+        self.column = column
 
 
 class PQLSyntaxError(PQLError):
     """The query text failed to lex or parse."""
 
     def __init__(self, message: str, line: int = 1, column: int = 0):
-        super().__init__(f"{message} (line {line}, column {column})")
-        self.line = line
-        self.column = column
+        super().__init__(message, line, column)
 
 
 class PQLTypeError(PQLError):
@@ -127,7 +138,8 @@ class PQLTypeError(PQLError):
 
 
 class PQLNameError(PQLError):
-    """An unbound variable or unknown root was referenced."""
+    """An unbound variable, unknown attribute, or unknown function
+    was referenced."""
 
 
 class NFSError(ReproError):

@@ -1,0 +1,50 @@
+"""passlint: static analysis for PQL queries and layer discipline.
+
+The dynamic enforcement story (``repro.core.analyzer`` at record time,
+``repro.storage.fsck`` after the fact) catches violations once they have
+cost something.  This package rejects them before they run:
+
+* :mod:`repro.lint.pqlcheck` walks a parsed PQL query and reports
+  unknown edge labels and attributes, unbound or shadowed variables,
+  type-incompatible comparisons, always-empty constructs, and
+  unbounded-closure cost hazards -- every diagnostic positioned with
+  the lexer's line/column.
+* :mod:`repro.lint.layercheck` walks the ``repro`` source tree itself
+  and enforces the paper's Figure 2 layering as import rules, confines
+  transaction framing to the storage/NFS layers, and rejects mutation
+  of finalized provenance records.
+
+Diagnostics carry ``PL###`` codes (PL1xx = PQL, PL2xx = layering) and
+come in two severities; reporters render them as text or JSON.
+"""
+
+from repro.lint.diagnostics import (
+    ERROR,
+    WARNING,
+    Diagnostic,
+    LintReport,
+    Rule,
+    all_rules,
+    render_json,
+    render_text,
+    rule,
+)
+from repro.lint.layercheck import check_source, check_tree
+from repro.lint.pqlcheck import Vocabulary, check_query, check_query_text
+
+__all__ = [
+    "ERROR",
+    "WARNING",
+    "Diagnostic",
+    "LintReport",
+    "Rule",
+    "Vocabulary",
+    "all_rules",
+    "check_query",
+    "check_query_text",
+    "check_source",
+    "check_tree",
+    "render_json",
+    "render_text",
+    "rule",
+]

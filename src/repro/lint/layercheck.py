@@ -1,0 +1,303 @@
+"""Layer-discipline checking over the ``repro`` source tree (PL2xx).
+
+The paper's Figure 2 stacks the system: applications over libpass/DPAPI,
+the core pipeline over the kernel, Lasagna/Waldo in storage, PA-NFS
+beside them.  Provenance from those layers only composes because each
+layer keeps to its interface; this checker enforces that discipline
+*statically*, as import rules over the Python source itself, so a
+violation is a CI failure instead of a production incident:
+
+* applications (``repro.apps``) may touch only the libpass/DPAPI
+  surface (``repro.core``) and each other;
+* the core pipeline may reach the kernel only through the interception
+  boundary (``kernel.kernel`` / ``kernel.process`` / ``kernel.vfs``)
+  and must never import storage, NFS, or anything above itself;
+* every other layer has an explicit allow-list (see ``_ALLOWED``);
+* transaction framing (``BEGINTXN`` / ``ENDTXN``) is confined to the
+  storage and NFS layers -- nothing else may even name those records;
+* finalized ``ProvenanceRecord`` instances are immutable: the frozen
+  bypass ``object.__setattr__`` and direct writes to record fields are
+  rejected everywhere.
+
+Checks are plain :mod:`ast` passes; no module under test is imported.
+"""
+
+from __future__ import annotations
+
+import ast as pyast
+import os
+from typing import Iterable, Optional
+
+from repro.lint.diagnostics import ERROR, WARNING, Diagnostic, rule
+
+# -- rules -------------------------------------------------------------------
+
+PL201 = rule(
+    "PL201", ERROR, "application layer reaches below libpass/DPAPI",
+    "Modules under repro.apps may import only repro.apps and the "
+    "repro.core surface (libpass, DPAPI, records, errors); reaching "
+    "into the kernel, storage, NFS, or query layers bypasses the "
+    "disclosure interface.")
+PL202 = rule(
+    "PL202", ERROR, "core pipeline escapes the interception boundary",
+    "repro.core may import kernel internals only through the "
+    "interception boundary (kernel.kernel, kernel.process, kernel.vfs) "
+    "and must never import storage, NFS, PQL, apps, or the system "
+    "facade.")
+PL203 = rule(
+    "PL203", ERROR, "layer-discipline import violation",
+    "A module imports a layer outside its allow-list (Figure 2 "
+    "layering: kernel below core, storage beside the kernel, PQL and "
+    "apps on top, the system facade above all).")
+PL205 = rule(
+    "PL205", ERROR, "transaction framing outside storage/NFS",
+    "BEGINTXN/ENDTXN framing records belong to the Lasagna log and the "
+    "PA-NFS wire protocol; any other layer naming them can leak "
+    "framing into databases (the fsck 'framing-leak' finding, caught "
+    "at build time).")
+PL206 = rule(
+    "PL206", ERROR, "mutation of a finalized provenance record",
+    "ProvenanceRecord is frozen; object.__setattr__ bypasses and "
+    "direct writes to record fields (subject/attr/value) corrupt "
+    "provenance that other layers already trust.")
+PL207 = rule(
+    "PL207", WARNING, "wildcard import",
+    "'from x import *' makes the import graph -- and therefore the "
+    "layering -- unauditable.")
+
+#: Layer allow-lists: module-prefix of the *importing* layer -> import
+#: prefixes it may use.  The longest matching importer prefix wins.
+#: Anything under ``repro.`` not matched here is unconstrained (the
+#: system facade, CLI, workloads, and query conveniences sit above
+#: every layer by design).
+_ALLOWED: dict[str, tuple[str, ...]] = {
+    # Applications: the disclosure surface only.
+    "repro.apps": ("repro.apps", "repro.core"),
+    # Core pipeline: itself + the kernel interception boundary.
+    "repro.core": ("repro.core", "repro.kernel.kernel",
+                   "repro.kernel.process", "repro.kernel.vfs"),
+    # Kernel: itself + core datatypes (records flow upward only).
+    "repro.kernel": ("repro.kernel", "repro.core"),
+    # PQL: itself, core datatypes, and the static analyzer pre-pass.
+    "repro.pql": ("repro.pql", "repro.core", "repro.lint"),
+    # Storage: itself, core, kernel structures it persists to, and the
+    # query engine Waldo serves.
+    "repro.storage": ("repro.storage", "repro.core", "repro.kernel",
+                      "repro.pql"),
+    # NFS: a distributed client/server pair; it drives whole systems.
+    "repro.nfs": ("repro.nfs", "repro.core", "repro.kernel",
+                  "repro.storage", "repro.system"),
+    # The linter itself: core vocabulary + the PQL AST it checks.
+    "repro.lint": ("repro.lint", "repro.core", "repro.pql"),
+}
+
+#: Layers that must never import the system facade or the CLI
+#: (they sit *below* them in Figure 2).
+_NO_FACADE = ("repro.apps", "repro.core", "repro.kernel", "repro.pql",
+              "repro.storage", "repro.lint")
+
+#: Modules allowed to name the framing attributes: the Lasagna log and
+#: recovery, Waldo (which strips orphans), fsck (which checks for
+#: leakage), the PA-NFS protocol, the attribute declaration itself,
+#: the OEM builder (which must strip framing from query graphs), and
+#: this linter (which must name them to police them).
+_FRAMING_ATTRS = frozenset({"BEGINTXN", "ENDTXN"})
+_FRAMING_ALLOWED = ("repro.storage", "repro.nfs", "repro.core.records",
+                    "repro.pql.oem", "repro.lint")
+
+#: Record fields whose assignment outside a record's own methods is a
+#: finalized-record mutation.
+_RECORD_FIELDS = frozenset({"subject", "attr", "value"})
+_RECORD_NAME_HINTS = ("record", "rec", "proto")
+
+
+# -- entry points ------------------------------------------------------------
+
+
+def check_tree(root: str) -> list[Diagnostic]:
+    """Check every ``*.py`` under ``root`` (a path at or inside the
+    ``repro`` package, or a tree containing it)."""
+    diagnostics: list[Diagnostic] = []
+    for path in sorted(_python_files(root)):
+        module = _module_name(path)
+        if module is None:
+            continue
+        with open(path, "r", encoding="utf-8") as handle:
+            diagnostics.extend(check_source(handle.read(), module, path))
+    return diagnostics
+
+
+def check_source(source: str, module: str,
+                 path: str = "<source>") -> list[Diagnostic]:
+    """Check one module's source text, attributed to ``module``
+    (dotted name, e.g. ``repro.apps.shellutils``)."""
+    try:
+        tree = pyast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [PL203.at(f"module does not parse: {exc.msg}", path,
+                         exc.lineno or 0, (exc.offset or 1) - 1)]
+    checker = _ModuleChecker(module, path)
+    checker.visit(tree)
+    return checker.diagnostics
+
+
+def _python_files(root: str) -> Iterable[str]:
+    if os.path.isfile(root):
+        yield root
+        return
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [d for d in dirnames
+                       if d not in ("__pycache__", ".git", "egg-info")
+                       and not d.endswith(".egg-info")]
+        for filename in filenames:
+            if filename.endswith(".py"):
+                yield os.path.join(dirpath, filename)
+
+
+def _module_name(path: str) -> Optional[str]:
+    """Dotted module name from a file path, anchored at ``repro``."""
+    parts = os.path.normpath(os.path.abspath(path)).split(os.sep)
+    if "repro" not in parts:
+        return None
+    index = len(parts) - 1 - parts[::-1].index("repro")
+    tail = parts[index:]
+    tail[-1] = tail[-1][:-3]                      # strip .py
+    if tail[-1] == "__init__":
+        tail.pop()
+    return ".".join(tail)
+
+
+def _layer_of(module: str) -> Optional[str]:
+    """Longest _ALLOWED prefix governing this module, if any."""
+    best = None
+    for prefix in _ALLOWED:
+        if module == prefix or module.startswith(prefix + "."):
+            if best is None or len(prefix) > len(best):
+                best = prefix
+    return best
+
+
+def _within(module: str, prefixes: Iterable[str]) -> bool:
+    return any(module == p or module.startswith(p + ".")
+               for p in prefixes)
+
+
+# -- the AST pass ------------------------------------------------------------
+
+
+class _ModuleChecker(pyast.NodeVisitor):
+    def __init__(self, module: str, path: str):
+        self.module = module
+        self.path = path
+        self.layer = _layer_of(module)
+        self.diagnostics: list[Diagnostic] = []
+
+    def _emit(self, registered, message: str, node: pyast.AST) -> None:
+        self.diagnostics.append(registered.at(
+            message, self.path, getattr(node, "lineno", 0),
+            getattr(node, "col_offset", 0)))
+
+    # -- imports -------------------------------------------------------------
+
+    def visit_Import(self, node: pyast.Import) -> None:
+        for alias in node.names:
+            self._check_import(alias.name, node)
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: pyast.ImportFrom) -> None:
+        if node.module is None:          # "from . import x" (relative)
+            self.generic_visit(node)
+            return
+        if node.level:                   # relative: resolve against self
+            base = self.module.rsplit(".", node.level)[0]
+            target = f"{base}.{node.module}"
+        else:
+            target = node.module
+        if any(alias.name == "*" for alias in node.names):
+            self._emit(PL207, f"wildcard import from {target!r}", node)
+        self._check_import(target, node)
+        self.generic_visit(node)
+
+    def _check_import(self, target: str, node: pyast.AST) -> None:
+        if not target.startswith("repro"):
+            return
+        if (_within(self.module, _NO_FACADE)
+                and _within(target, ("repro.system", "repro.cli"))):
+            code = (PL201 if _within(self.module, ("repro.apps",))
+                    else PL202 if _within(self.module, ("repro.core",))
+                    else PL203)
+            self._emit(code, f"{self.module} must not import {target} "
+                       "(the facade sits above every layer)", node)
+            return
+        if self.layer is None:
+            return
+        if not _within(target, _ALLOWED[self.layer]):
+            if self.layer == "repro.apps":
+                self._emit(PL201, f"{self.module} imports {target}; "
+                           "applications may touch only the "
+                           "libpass/DPAPI surface (repro.core)", node)
+            elif self.layer == "repro.core":
+                self._emit(PL202, f"{self.module} imports {target}; the "
+                           "core pipeline may reach the kernel only "
+                           "via kernel.kernel/process/vfs", node)
+            else:
+                self._emit(PL203, f"{self.module} imports {target}, "
+                           f"outside the {self.layer} allow-list "
+                           f"{sorted(_ALLOWED[self.layer])}", node)
+
+    # -- framing confinement -------------------------------------------------
+
+    def visit_Attribute(self, node: pyast.Attribute) -> None:
+        if (node.attr in _FRAMING_ATTRS
+                and isinstance(node.value, pyast.Name)
+                and node.value.id == "Attr"
+                and not _within(self.module, _FRAMING_ALLOWED)):
+            self._emit(PL205, f"Attr.{node.attr} referenced in "
+                       f"{self.module}; transaction framing is confined "
+                       "to the storage and NFS layers", node)
+        self.generic_visit(node)
+
+    def visit_Constant(self, node: pyast.Constant) -> None:
+        if (isinstance(node.value, str) and node.value in _FRAMING_ATTRS
+                and self.module.startswith("repro")
+                and not _within(self.module, _FRAMING_ALLOWED)):
+            self._emit(PL205, f"framing attribute {node.value!r} named in "
+                       f"{self.module}; transaction framing is confined "
+                       "to the storage and NFS layers", node)
+        self.generic_visit(node)
+
+    # -- record immutability -------------------------------------------------
+
+    def visit_Call(self, node: pyast.Call) -> None:
+        func = node.func
+        if (isinstance(func, pyast.Attribute)
+                and func.attr == "__setattr__"
+                and isinstance(func.value, pyast.Name)
+                and func.value.id == "object"):
+            target = node.args[0] if node.args else None
+            if not (isinstance(target, pyast.Name)
+                    and target.id == "self"):
+                self._emit(PL206, "object.__setattr__ on a foreign object "
+                           "bypasses frozen-record immutability", node)
+        self.generic_visit(node)
+
+    def visit_Assign(self, node: pyast.Assign) -> None:
+        for target in node.targets:
+            self._check_record_write(target, node)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: pyast.AugAssign) -> None:
+        self._check_record_write(node.target, node)
+        self.generic_visit(node)
+
+    def _check_record_write(self, target: pyast.AST,
+                            node: pyast.AST) -> None:
+        if not (isinstance(target, pyast.Attribute)
+                and target.attr in _RECORD_FIELDS
+                and isinstance(target.value, pyast.Name)):
+            return
+        holder = target.value.id.lower()
+        if any(hint in holder for hint in _RECORD_NAME_HINTS):
+            self._emit(PL206, f"assignment to {target.value.id}."
+                       f"{target.attr} mutates a provenance record "
+                       "after finalization", node)

@@ -1,0 +1,439 @@
+"""Static analysis of parsed PQL queries (the PL1xx rules).
+
+Runs over the :mod:`repro.pql.ast` tree *before* evaluation and reports
+queries that can only fail or return nothing: unknown edge labels and
+attributes (checked against the :class:`repro.core.records.Attr`
+vocabulary, optionally widened by labels observed in a live OEM graph),
+unbound or shadowed FROM variables, traversal over non-reference
+attributes, type-incompatible comparisons, and unbounded-closure cost
+hazards.  Every diagnostic is positioned with the line/column the lexer
+recorded on the AST node.
+
+The query engine runs :func:`check_query` as an opt-out pre-pass and
+converts error-severity diagnostics into the same ``PQLError`` family
+the evaluator raises, so a bad query fails in microseconds with a
+positioned message instead of burning a nested-loop join.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.core.errors import PQLError, PQLNameError, PQLSyntaxError
+from repro.core.records import Attr, ObjType
+from repro.lint.diagnostics import ERROR, WARNING, Diagnostic, rule
+from repro.pql import ast
+
+#: The reserved FROM root (mirrors ``OEMGraph.ROOT``; kept local so the
+#: analyzer does not depend on graph construction).
+_ROOT = "Provenance"
+
+_AGGREGATES = frozenset({"count", "sum", "avg", "min", "max"})
+_SCALARS = frozenset({"len", "lower", "upper", "basename"})
+_STRING_SCALARS = frozenset({"lower", "upper", "basename"})
+
+#: Conventional value types of well-known atoms (for the PL110 check);
+#: atoms absent here have no statically known type.
+_ATOM_TYPES = {
+    "name": "str", "type": "str", "argv": "str", "env": "str",
+    "annotation": "str", "params": "str", "kernel": "str",
+    "visited_url": "str", "file_url": "str", "current_url": "str",
+    "pid": "number", "time": "number",
+    "version": "number", "pnode": "number",
+}
+
+#: Identity pseudo-attributes: legal in queries even though the OEM
+#: graph materializes no atoms for them (``ref`` carries them instead).
+_PSEUDO_ATOMS = frozenset({"version", "pnode"})
+
+# -- rules -------------------------------------------------------------------
+
+PL100 = rule(
+    "PL100", ERROR, "PQL syntax error",
+    "The query text failed to lex or parse.")
+PL101 = rule(
+    "PL101", ERROR, "unknown edge label or attribute",
+    "A path step names a label that is neither a known cross-reference "
+    "edge nor a known attribute; the step can never match anything.")
+PL102 = rule(
+    "PL102", ERROR, "non-reference attribute traversed as an edge",
+    "A plain-value attribute (e.g. 'name') appears where an edge must "
+    "be followed; such a step always yields the empty set.")
+PL103 = rule(
+    "PL103", ERROR, "unbound variable",
+    "A path is rooted at a name that is neither 'Provenance' nor a "
+    "previously bound FROM variable.")
+PL104 = rule(
+    "PL104", WARNING, "shadowed or rebound FROM variable",
+    "A FROM binding reuses a name that is already bound; the earlier "
+    "binding becomes unreachable in this scope.")
+PL105 = rule(
+    "PL105", WARNING, "unknown Provenance member",
+    "The member after 'Provenance' is not a known object TYPE; the "
+    "binding is likely empty.")
+PL106 = rule(
+    "PL106", ERROR, "malformed Provenance root path",
+    "'Provenance' must be followed by a plain member name "
+    "(e.g. Provenance.file); quantified, reversed or missing members "
+    "fail at evaluation time.")
+PL107 = rule(
+    "PL107", WARNING, "unbounded closure",
+    "A '*', '+' or '{n,}' quantifier walks the transitive closure; on "
+    "deep ancestry graphs this is the dominant query cost.  Consider a "
+    "bounded '{n,m}' quantifier.")
+PL108 = rule(
+    "PL108", ERROR, "unknown function",
+    "A call names neither an aggregate (count/sum/avg/min/max) nor a "
+    "scalar (len/lower/upper/basename).")
+PL109 = rule(
+    "PL109", ERROR, "wrong function arity",
+    "Aggregates and scalars take exactly one argument.")
+PL110 = rule(
+    "PL110", WARNING, "type-incompatible comparison",
+    "The two operands can never hold values of a comparable type, so "
+    "the predicate is always false (PQL comparisons are existential "
+    "and never coerce).")
+PL111 = rule(
+    "PL111", WARNING, "constant predicate",
+    "The predicate compares literals (or is a bare literal); it does "
+    "not depend on any bound variable.")
+PL112 = rule(
+    "PL112", WARNING, "query can never return rows",
+    "LIMIT 0 (or an always-false WHERE clause) makes the result "
+    "statically empty.")
+PL113 = rule(
+    "PL113", WARNING, "unused FROM binding",
+    "A bound variable is never referenced; the binding still multiplies "
+    "the nested-loop join by its member count.")
+
+#: Engine pre-pass: which PQLError subclass each blocking code maps to.
+_EXCEPTIONS = {
+    "PL100": PQLSyntaxError,
+    "PL101": PQLNameError,
+    "PL102": PQLNameError,
+    "PL103": PQLNameError,
+    "PL106": PQLError,
+    "PL108": PQLNameError,
+    "PL109": PQLError,
+}
+
+
+# -- vocabulary --------------------------------------------------------------
+
+
+def _attr_constants() -> dict[str, str]:
+    """All string attribute constants declared on :class:`Attr`."""
+    return {name: value for name, value in vars(Attr).items()
+            if name.isupper() and isinstance(value, str)}
+
+
+@dataclass(frozen=True)
+class Vocabulary:
+    """The label universe a query is checked against.
+
+    ``edges`` are labels conventionally carrying cross-references,
+    ``atoms`` are plain-value attribute labels, ``members`` the
+    Provenance root members.  All labels are lowercase, the way the OEM
+    graph exposes them.
+    """
+
+    edges: frozenset[str]
+    atoms: frozenset[str]
+    members: frozenset[str]
+
+    @classmethod
+    def default(cls) -> "Vocabulary":
+        """The static vocabulary from ``repro.core.records``."""
+        edges = frozenset(a.lower() for a in Attr.XREF_ATTRS)
+        framing = {Attr.BEGINTXN.lower(), Attr.ENDTXN.lower()}
+        atoms = frozenset(v.lower() for v in _attr_constants().values()
+                          if v.lower() not in edges
+                          and v.lower() not in framing) | _PSEUDO_ATOMS
+        members = frozenset(
+            value.lower() for name, value in vars(ObjType).items()
+            if name.isupper() and isinstance(value, str)) | {"node"}
+        return cls(edges, atoms, members)
+
+    def for_graph(self, graph) -> "Vocabulary":
+        """Widen with labels actually present in an OEM graph, so the
+        engine pre-pass never rejects a query the evaluator could
+        satisfy (applications may record attributes beyond the core
+        vocabulary)."""
+        edges = set(self.edges)
+        atoms = set(self.atoms)
+        for node in graph.nodes():
+            edges.update(node.edges)
+            atoms.update(node.atoms)
+        members = set(self.members) | set(graph.member_names())
+        return Vocabulary(frozenset(edges), frozenset(atoms),
+                          frozenset(members))
+
+    def knows(self, label: str) -> bool:
+        return label in self.edges or label in self.atoms
+
+
+# -- entry points ------------------------------------------------------------
+
+
+def check_query_text(text: str, vocabulary: Optional[Vocabulary] = None,
+                     source: str = "<query>") -> list[Diagnostic]:
+    """Parse and check raw query text; parse failures become PL100."""
+    from repro.pql.parser import parse
+    try:
+        query = parse(text)
+    except PQLSyntaxError as exc:
+        return [PL100.at(str(exc), source,
+                         exc.line or 0, exc.column or 0)]
+    return check_query(query, vocabulary, source)
+
+
+def check_query(query: ast.Query, vocabulary: Optional[Vocabulary] = None,
+                source: str = "<query>") -> list[Diagnostic]:
+    """Check one parsed query; returns positioned diagnostics."""
+    checker = _QueryChecker(vocabulary or Vocabulary.default(), source)
+    checker.check(query)
+    return checker.diagnostics
+
+
+def raise_on_errors(diagnostics: Iterable[Diagnostic]) -> None:
+    """Engine pre-pass: turn the first blocking diagnostic into the
+    matching ``PQLError`` subclass, positioned."""
+    for diag in diagnostics:
+        if diag.severity != ERROR:
+            continue
+        exc_cls = _EXCEPTIONS.get(diag.code, PQLError)
+        if exc_cls is PQLSyntaxError:
+            raise exc_cls(diag.message, diag.line or 1, diag.column)
+        raise exc_cls(f"[{diag.code}] {diag.message}",
+                      diag.line or None, diag.column if diag.line else None)
+
+
+# -- the walker --------------------------------------------------------------
+
+
+class _QueryChecker:
+    def __init__(self, vocabulary: Vocabulary, source: str):
+        self.vocabulary = vocabulary
+        self.source = source
+        self.diagnostics: list[Diagnostic] = []
+        self._used: set[str] = set()
+
+    def _emit(self, registered, message: str, node=None) -> None:
+        line = getattr(node, "line", 0) if node is not None else 0
+        column = getattr(node, "column", 0) if node is not None else 0
+        self.diagnostics.append(
+            registered.at(message, self.source, line, column))
+
+    # -- queries -------------------------------------------------------------
+
+    def check(self, query: ast.Query,
+              outer: frozenset[str] = frozenset()) -> None:
+        scope: set[str] = set(outer)
+        bound_here: set[str] = set()
+        for binding in query.bindings:
+            self._from_path(binding.path, scope)
+            if binding.name in bound_here:
+                self._emit(PL104, f"variable {binding.name!r} is bound "
+                           "twice in this FROM clause", binding)
+            elif binding.name in scope:
+                self._emit(PL104, f"variable {binding.name!r} shadows an "
+                           "enclosing binding", binding)
+            scope.add(binding.name)
+            bound_here.add(binding.name)
+        for item in query.select:
+            self._expr(item.expr, scope)
+        if query.where is not None:
+            self._expr(query.where, scope)
+            self._constant_predicate(query.where)
+        if query.order is not None:
+            self._expr(query.order.expr, scope)
+        if query.limit == 0:
+            self._emit(PL112, "LIMIT 0 always returns the empty result",
+                       query)
+        for binding in query.bindings:
+            if binding.name in bound_here and binding.name not in self._used:
+                self._emit(PL113, f"binding {binding.name!r} is never used",
+                           binding)
+
+    # -- paths ---------------------------------------------------------------
+
+    def _from_path(self, path: ast.Path, scope: set[str]) -> None:
+        steps = list(path.steps)
+        if path.root == _ROOT:
+            steps = self._root_member(path, steps)
+        elif path.root in scope:
+            self._used.add(path.root)
+        else:
+            self._emit(PL103, f"unbound variable {path.root!r}", path)
+            return
+        for step in steps:
+            self._edge_step(step, atom_ok=False)
+
+    def _expr_path(self, path: ast.Path, scope: set[str]) -> None:
+        steps = list(path.steps)
+        if path.root == _ROOT:
+            steps = self._root_member(path, steps)
+        elif path.root in scope:
+            self._used.add(path.root)
+        else:
+            self._emit(PL103, f"unbound variable {path.root!r}", path)
+            return
+        for index, step in enumerate(steps):
+            self._edge_step(step, atom_ok=(index == len(steps) - 1))
+
+    def _root_member(self, path: ast.Path,
+                     steps: list[ast.Step]) -> list[ast.Step]:
+        """Validate the member step after 'Provenance'; returns the
+        remaining steps."""
+        if not steps:
+            self._emit(PL106, "'Provenance' needs a member, e.g. "
+                       "Provenance.file", path)
+            return []
+        first = steps[0]
+        member = (first.edge.name
+                  if isinstance(first.edge, ast.EdgeName)
+                  and not first.edge.reverse else None)
+        if member is None or first.quantifier != ast.Quantifier():
+            self._emit(PL106, "the first step after 'Provenance' must be "
+                       "a plain member name", path)
+            return []
+        if member not in self.vocabulary.members:
+            self._emit(PL105, f"unknown Provenance member {member!r} "
+                       "(no object carries that TYPE)", first.edge)
+        return steps[1:]
+
+    def _edge_step(self, step: ast.Step, atom_ok: bool) -> None:
+        names = (step.edge.options if isinstance(step.edge, ast.EdgeAlt)
+                 else (step.edge,))
+        plain_read = (atom_ok and len(names) == 1 and not names[0].reverse
+                      and step.quantifier == ast.Quantifier())
+        for edge in names:
+            label = edge.name
+            if label in self.vocabulary.edges:
+                continue
+            if label in self.vocabulary.atoms:
+                if not plain_read:
+                    self._emit(PL102, f"attribute {label!r} holds plain "
+                               "values, not references; it cannot be "
+                               "traversed", edge)
+                continue
+            self._emit(PL101, f"unknown edge label or attribute {label!r}",
+                       edge)
+        if step.quantifier.maximum is None:
+            labels = "|".join(edge.name for edge in names)
+            self._emit(PL107, f"unbounded closure over {labels!r} walks "
+                       "the whole ancestry; consider a bounded "
+                       "quantifier like {1,8}", names[0])
+
+    # -- expressions ---------------------------------------------------------
+
+    def _expr(self, expr: ast.Expr, scope: set[str]) -> None:
+        if isinstance(expr, ast.Literal):
+            return
+        if isinstance(expr, ast.PathValue):
+            self._expr_path(expr.path, scope)
+            return
+        if isinstance(expr, ast.Compare):
+            self._expr(expr.left, scope)
+            self._expr(expr.right, scope)
+            self._compare_types(expr)
+            return
+        if isinstance(expr, ast.BoolOp):
+            for operand in expr.operands:
+                self._expr(operand, scope)
+            return
+        if isinstance(expr, (ast.Not, ast.Neg)):
+            self._expr(expr.operand, scope)
+            return
+        if isinstance(expr, ast.Arith):
+            self._expr(expr.left, scope)
+            self._expr(expr.right, scope)
+            return
+        if isinstance(expr, ast.Call):
+            self._call(expr, scope)
+            return
+        if isinstance(expr, ast.InQuery):
+            self._expr(expr.needle, scope)
+            self.check(expr.query, frozenset(scope))
+            return
+        if isinstance(expr, ast.ExistsQuery):
+            self.check(expr.query, frozenset(scope))
+            return
+
+    def _call(self, expr: ast.Call, scope: set[str]) -> None:
+        if expr.name not in _AGGREGATES and expr.name not in _SCALARS:
+            self._emit(PL108, f"unknown function {expr.name!r}", expr)
+        elif len(expr.args) != 1:
+            self._emit(PL109, f"{expr.name}() takes exactly one argument, "
+                       f"got {len(expr.args)}", expr)
+        for arg in expr.args:
+            self._expr(arg, scope)
+
+    # -- static typing -------------------------------------------------------
+
+    def _compare_types(self, expr: ast.Compare) -> None:
+        left = self._type_of(expr.left)
+        right = self._type_of(expr.right)
+        if expr.op == "like":
+            for side, name in ((left, "left"), (right, "right")):
+                if side is not None and side != "str":
+                    self._emit(PL110, f"LIKE requires strings; the {name} "
+                               f"operand is always {side}", expr)
+            return
+        if left is not None and right is not None and left != right:
+            self._emit(PL110, f"comparing {left} with {right} is always "
+                       "false (PQL never coerces)", expr)
+
+    def _constant_predicate(self, where: ast.Expr) -> None:
+        """Flag WHERE clauses (or top-level conjuncts) built purely from
+        literals."""
+        conjuncts = (list(where.operands)
+                     if isinstance(where, ast.BoolOp) else [where])
+        for conjunct in conjuncts:
+            if isinstance(conjunct, ast.Literal):
+                self._emit(PL111, "bare literal used as a predicate",
+                           where)
+            elif (isinstance(conjunct, ast.Compare)
+                    and isinstance(conjunct.left, ast.Literal)
+                    and isinstance(conjunct.right, ast.Literal)
+                    and self._type_of(conjunct.left)
+                    == self._type_of(conjunct.right)):
+                self._emit(PL111, "predicate compares two literals; it "
+                           "is constant", conjunct)
+
+    def _type_of(self, expr: ast.Expr) -> Optional[str]:
+        """Static type category, or None when unknowable.
+
+        Categories mirror the evaluator's comparison rules: bool, number
+        (int/float interchangeable), str, bytes.
+        """
+        if isinstance(expr, ast.Literal):
+            value = expr.value
+            if isinstance(value, bool):
+                return "bool"
+            if isinstance(value, (int, float)):
+                return "number"
+            if isinstance(value, str):
+                return "str"
+            if isinstance(value, bytes):
+                return "bytes"
+            return None
+        if isinstance(expr, (ast.Arith, ast.Neg)):
+            return "number"
+        if isinstance(expr, (ast.BoolOp, ast.Not, ast.Compare,
+                             ast.InQuery, ast.ExistsQuery)):
+            return "bool"
+        if isinstance(expr, ast.Call):
+            if expr.name in _STRING_SCALARS:
+                return "str"
+            if expr.name in _AGGREGATES or expr.name == "len":
+                return "number"
+            return None
+        if isinstance(expr, ast.PathValue) and expr.path.steps:
+            last = expr.path.steps[-1]
+            if (isinstance(last.edge, ast.EdgeName)
+                    and not last.edge.reverse
+                    and last.quantifier == ast.Quantifier()):
+                return _ATOM_TYPES.get(last.edge.name)
+        return None

@@ -10,6 +10,10 @@ their types.  A query::
 Each FROM binding is a path expression rooted either at the reserved
 root ``Provenance`` or at an earlier-bound variable, with an optional
 ``as Name`` alias (required unless the path is a bare identifier).
+
+Nodes that diagnostics anchor to carry the ``line``/``column`` of the
+token that introduced them.  Positions are excluded from equality and
+repr so structurally identical ASTs still compare equal.
 """
 
 from __future__ import annotations
@@ -27,6 +31,8 @@ class EdgeName:
 
     name: str
     reverse: bool = False
+    line: int = field(default=0, compare=False, repr=False)
+    column: int = field(default=0, compare=False, repr=False)
 
 
 @dataclass(frozen=True)
@@ -76,6 +82,8 @@ class Path:
 
     root: str                      # 'Provenance' or a bound variable
     steps: tuple[Step, ...] = ()
+    line: int = field(default=0, compare=False, repr=False)
+    column: int = field(default=0, compare=False, repr=False)
 
 
 @dataclass(frozen=True)
@@ -84,6 +92,8 @@ class Binding:
 
     path: Path
     name: str
+    line: int = field(default=0, compare=False, repr=False)
+    column: int = field(default=0, compare=False, repr=False)
 
 
 # -- expressions --------------------------------------------------------------------
@@ -110,6 +120,8 @@ class Compare:
     op: str                        # '=', '!=', '<', '<=', '>', '>='
     left: "Expr"
     right: "Expr"
+    line: int = field(default=0, compare=False, repr=False)
+    column: int = field(default=0, compare=False, repr=False)
 
 
 @dataclass(frozen=True)
@@ -141,6 +153,8 @@ class Call:
 
     name: str
     args: tuple["Expr", ...]
+    line: int = field(default=0, compare=False, repr=False)
+    column: int = field(default=0, compare=False, repr=False)
 
 
 @dataclass(frozen=True)
@@ -188,3 +202,5 @@ class Query:
     order: Optional[OrderBy] = None
     #: Result pruning (the paper's "information overload" concern).
     limit: Optional[int] = None
+    line: int = field(default=0, compare=False, repr=False)
+    column: int = field(default=0, compare=False, repr=False)

@@ -18,12 +18,21 @@ from repro.pql.parser import parse
 
 
 class QueryEngine:
-    """Parse + evaluate PQL over a provenance graph."""
+    """Parse + evaluate PQL over a provenance graph.
 
-    def __init__(self, graph: OEMGraph):
+    By default every query runs through the ``repro.lint`` static
+    pre-pass first: blocking diagnostics (unknown attributes, unbound
+    variables, bad calls, ...) surface as positioned ``PQLError``s in
+    microseconds, before the nested-loop join starts.  Pass
+    ``check=False`` (construction-time or per call) to opt out.
+    """
+
+    def __init__(self, graph: OEMGraph, check: bool = True):
         self.graph = graph
         self._evaluator = Evaluator(graph)
         self._cache: dict[str, Query] = {}
+        self._check = check
+        self._vocabulary = None
 
     @classmethod
     def from_records(cls, records: Iterable[ProvenanceRecord]) -> "QueryEngine":
@@ -42,9 +51,26 @@ class QueryEngine:
             self._cache[text] = parse(text)
         return self._cache[text]
 
-    def execute(self, text: str) -> list:
+    def vocabulary(self):
+        """The lint vocabulary for this graph: the static ``Attr``
+        universe widened by every label the graph actually holds."""
+        if self._vocabulary is None:
+            from repro.lint.pqlcheck import Vocabulary
+            self._vocabulary = Vocabulary.default().for_graph(self.graph)
+        return self._vocabulary
+
+    def lint(self, text: str) -> list:
+        """Static diagnostics for one query, without evaluating it."""
+        from repro.lint.pqlcheck import check_query_text
+        return check_query_text(text, self.vocabulary())
+
+    def execute(self, text: str, check: bool | None = None) -> list:
         """Run a PQL query; returns rows (see Evaluator.execute)."""
-        return self._evaluator.execute(self.parse(text))
+        query = self.parse(text)
+        if self._check if check is None else check:
+            from repro.lint.pqlcheck import check_query, raise_on_errors
+            raise_on_errors(check_query(query, self.vocabulary()))
+        return self._evaluator.execute(query)
 
     def execute_refs(self, text: str) -> list:
         """Like :meth:`execute`, but nodes come back as ObjectRefs."""

@@ -28,6 +28,12 @@ from repro.pql.oem import OEMGraph, OEMNode
 #: Environment: variable name -> OEMNode.
 Env = dict
 
+
+def _pos(node) -> tuple:
+    """(line, column) of an AST node, or (None, None) when unknown."""
+    line = getattr(node, "line", 0)
+    return (line, getattr(node, "column", 0)) if line else (None, None)
+
 _AGGREGATES = frozenset({"count", "sum", "avg", "min", "max"})
 
 #: Scalar functions mapping each value of their argument's value set.
@@ -162,22 +168,23 @@ class Evaluator:
         if path.root == OEMGraph.ROOT:
             if not steps:
                 raise PQLError("'Provenance' needs a member, e.g. "
-                               "Provenance.file")
+                               "Provenance.file", *_pos(path))
             first = steps.pop(0)
             member = _single_forward_label(first)
             if member is None or first.quantifier != ast.Quantifier():
                 raise PQLError("the first step after 'Provenance' must be "
-                               "a plain member name")
+                               "a plain member name", *_pos(path))
             frontier = self.graph.members(member)
         elif path.root in env:
             value = env[path.root]
             if not isinstance(value, OEMNode):
                 raise PQLTypeError(
-                    f"variable {path.root!r} is not an object"
+                    f"variable {path.root!r} is not an object", *_pos(path)
                 )
             frontier = [value]
         else:
-            raise PQLNameError(f"unbound variable {path.root!r}")
+            raise PQLNameError(f"unbound variable {path.root!r}",
+                               *_pos(path))
         for step in steps:
             frontier = self._apply_step(frontier, step)
         return frontier
@@ -242,7 +249,8 @@ class Evaluator:
         if isinstance(expr, ast.Call):
             if expr.name in _SCALARS:
                 if len(expr.args) != 1:
-                    raise PQLError(f"{expr.name}() takes one argument")
+                    raise PQLError(f"{expr.name}() takes one argument",
+                                   *_pos(expr))
                 fn = _SCALARS[expr.name]
                 return [out for value in self._values(expr.args[0], env)
                         if (out := fn(value)) is not None]
@@ -261,7 +269,8 @@ class Evaluator:
         """
         if not path.steps:
             if path.root not in env:
-                raise PQLNameError(f"unbound variable {path.root!r}")
+                raise PQLNameError(f"unbound variable {path.root!r}",
+                                   *_pos(path))
             return [env[path.root]]
         frontier_path = ast.Path(path.root, path.steps[:-1])
         frontier = self._path_nodes(frontier_path, env)
@@ -317,14 +326,16 @@ class Evaluator:
     def _call(self, expr: ast.Call, env: Env):
         if expr.name in _AGGREGATES:
             if len(expr.args) != 1:
-                raise PQLError(f"{expr.name}() takes exactly one argument")
+                raise PQLError(f"{expr.name}() takes exactly one argument",
+                               *_pos(expr))
             return _aggregate(expr.name, self._values(expr.args[0], env))
-        raise PQLError(f"unknown function {expr.name!r}")
+        raise PQLNameError(f"unknown function {expr.name!r}", *_pos(expr))
 
     def _aggregate_over(self, expr: ast.Call, envs: list[Env]):
         """Aggregate across the whole binding set (aggregate-only select)."""
         if len(expr.args) != 1:
-            raise PQLError(f"{expr.name}() takes exactly one argument")
+            raise PQLError(f"{expr.name}() takes exactly one argument",
+                           *_pos(expr))
         values: list = []
         seen: set = set()
         for env in envs:

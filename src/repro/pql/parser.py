@@ -92,6 +92,7 @@ class _Parser:
     # -- query ------------------------------------------------------------------------
 
     def parse_query(self, top_level: bool = False) -> ast.Query:
+        start = self._cur
         self._expect_keyword("select")
         distinct = True
         if self._cur.is_keyword("distinct"):
@@ -133,7 +134,7 @@ class _Parser:
         if top_level and self._cur.kind != "eof":
             raise self._error("unexpected trailing input")
         return ast.Query(tuple(select), tuple(bindings), where, distinct,
-                         order, limit)
+                         order, limit, line=start.line, column=start.column)
 
     def _select_item(self) -> ast.SelectItem:
         expr = self.parse_expr()
@@ -144,14 +145,16 @@ class _Parser:
         return ast.SelectItem(expr, alias)
 
     def _binding(self) -> ast.Binding:
+        start = self._cur
         path = self._path(in_expression=False)
         self._expect_keyword("as")
         name = self._expect_ident()
-        return ast.Binding(path, name)
+        return ast.Binding(path, name, line=start.line, column=start.column)
 
     # -- paths ------------------------------------------------------------------------------
 
     def _path(self, in_expression: bool) -> ast.Path:
+        start = self._cur
         root = self._expect_ident()
         steps: list[ast.Step] = []
         while self._cur.is_op("."):
@@ -159,7 +162,8 @@ class _Parser:
             edge = self._edge_expr()
             quant = self._quantifier(in_expression)
             steps.append(ast.Step(edge, quant))
-        return ast.Path(root, tuple(steps))
+        return ast.Path(root, tuple(steps),
+                        line=start.line, column=start.column)
 
     def _edge_expr(self) -> ast.EdgeExpr:
         if self._cur.is_op("("):
@@ -173,11 +177,13 @@ class _Parser:
         return self._edge_name()
 
     def _edge_name(self) -> ast.EdgeName:
+        start = self._cur
         reverse = False
         if self._cur.is_op("^"):
             self._advance()
             reverse = True
-        return ast.EdgeName(self._expect_ident(), reverse)
+        return ast.EdgeName(self._expect_ident(), reverse,
+                            line=start.line, column=start.column)
 
     def _quantifier(self, in_expression: bool) -> ast.Quantifier:
         token = self._cur
@@ -256,16 +262,19 @@ class _Parser:
     def _comparison(self) -> ast.Expr:
         left = self._additive()
         if self._cur.kind == "op" and self._cur.text in _CMP_OPS:
-            op = self._advance().text
+            token = self._advance()
             right = self._additive()
-            return ast.Compare(op, left, right)
+            return ast.Compare(token.text, left, right,
+                               line=token.line, column=token.column)
         if self._cur.is_keyword("like"):
-            self._advance()
-            return ast.Compare("like", left, self._additive())
+            token = self._advance()
+            return ast.Compare("like", left, self._additive(),
+                               line=token.line, column=token.column)
         if self._cur.is_keyword("not") and self._peek().is_keyword("like"):
             self._advance()
-            self._advance()
-            return ast.Not(ast.Compare("like", left, self._additive()))
+            token = self._advance()
+            return ast.Not(ast.Compare("like", left, self._additive(),
+                                       line=token.line, column=token.column))
         if self._cur.is_keyword("in"):
             self._advance()
             self._expect_op("(")
@@ -339,6 +348,7 @@ class _Parser:
                         self._advance()
                         args.append(self.parse_expr())
                 self._expect_op(")")
-                return ast.Call(name.lower(), tuple(args))
+                return ast.Call(name.lower(), tuple(args),
+                                line=token.line, column=token.column)
             return ast.PathValue(self._path(in_expression=True))
         raise self._error("expected an expression")

@@ -62,6 +62,23 @@ class FsckReport:
         return (f"passfsck: {self.objects_checked} objects, "
                 f"{self.records_checked} records, {status}")
 
+    def to_dict(self) -> dict:
+        """JSON-ready summary (the CLI's ``fsck --json`` reporter)."""
+        return {
+            "clean": self.clean,
+            "objects_checked": self.objects_checked,
+            "records_checked": self.records_checked,
+            "findings": [
+                {
+                    "check": finding.check,
+                    "subject": {"pnode": finding.subject.pnode,
+                                "version": finding.subject.version},
+                    "detail": finding.detail,
+                }
+                for finding in self.findings
+            ],
+        }
+
 
 def fsck(databases: Iterable) -> FsckReport:
     """Run every check over the merged databases."""

@@ -1,0 +1,118 @@
+"""CLI integration: `repro lint` and the fsck JSON reporter."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core.pnode import ObjectRef
+from repro.core.records import Attr, ProvenanceRecord
+from repro.storage.database import ProvenanceDatabase
+
+
+class TestLintCommand:
+    def test_shipped_tree_is_clean(self, capsys):
+        assert main(["lint", "src/repro"]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_bad_query_fails_with_position(self, capsys):
+        code = main(["lint", "--query",
+                     'select F from Provenance.file as F '
+                     'where F.nmae = "x"'])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "PL101" in out
+        assert "<query>:1:43" in out
+
+    def test_good_query_passes(self, capsys):
+        assert main(["lint", "--query",
+                     "select F from Provenance.file as F"]) == 0
+
+    def test_warnings_pass_unless_strict(self, capsys):
+        query = "select A from Provenance.file as F F.input* as A"
+        assert main(["lint", "--query", query]) == 0
+        assert main(["lint", "--strict", "--query", query]) == 1
+
+    def test_json_output(self, capsys):
+        main(["lint", "--json", "--query",
+              "select B from Nope.input as B"])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is False
+        assert payload["diagnostics"][0]["code"] == "PL103"
+
+    def test_pql_file_target(self, tmp_path, capsys):
+        target = tmp_path / "q.pql"
+        target.write_text("select F from Provenance.file as F\n"
+                          'where F.nmae = "x"\n')
+        assert main(["lint", str(target)]) == 1
+        assert f"{target}:2:8" in capsys.readouterr().out
+
+    def test_violating_module_target(self, tmp_path, capsys):
+        pkg = tmp_path / "repro" / "apps"
+        pkg.mkdir(parents=True)
+        bad = pkg / "evil.py"
+        bad.write_text("from repro.kernel.kernel import Kernel\n")
+        assert main(["lint", str(bad)]) == 1
+        assert "PL201" in capsys.readouterr().out
+
+    def test_nothing_to_check_is_usage_error(self, capsys):
+        assert main(["lint"]) == 2
+
+    def test_missing_target_is_usage_error(self, capsys):
+        assert main(["lint", "/does/not/exist.py"]) == 2
+        assert "no such file" in capsys.readouterr().err
+
+    def test_rules_listing(self, capsys):
+        assert main(["lint", "--rules"]) == 0
+        out = capsys.readouterr().out
+        assert "PL101" in out and "PL201" in out
+
+
+def _store(tmp_path, records):
+    database = ProvenanceDatabase("t")
+    database.insert_many(records)
+    path = tmp_path / "store.db"
+    database.save(str(path))
+    return str(path)
+
+
+def _ref(pnode, version=0):
+    return ObjectRef(pnode, version)
+
+
+class TestFsckCommand:
+    def clean_records(self):
+        return [
+            ProvenanceRecord(_ref(1), Attr.TYPE, "FILE"),
+            ProvenanceRecord(_ref(1), Attr.NAME, "/pass/a"),
+        ]
+
+    def dirty_records(self):
+        # Ancestry without a TYPE record anywhere -> "missing-type".
+        return [ProvenanceRecord(_ref(1), Attr.INPUT, _ref(2))]
+
+    def test_clean_store_exits_zero(self, tmp_path, capsys):
+        path = _store(tmp_path, self.clean_records())
+        assert main(["fsck", "--db", path]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_violations_exit_nonzero(self, tmp_path, capsys):
+        path = _store(tmp_path, self.dirty_records())
+        assert main(["fsck", "--db", path]) == 1
+        assert "missing-type" in capsys.readouterr().out
+
+    def test_json_reporter(self, tmp_path, capsys):
+        path = _store(tmp_path, self.dirty_records())
+        assert main(["fsck", "--db", path, "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["clean"] is False
+        checks = {finding["check"] for finding in payload["findings"]}
+        assert "missing-type" in checks
+        assert payload["records_checked"] == 1
+
+    def test_json_reporter_clean(self, tmp_path, capsys):
+        path = _store(tmp_path, self.clean_records())
+        assert main(["fsck", "--db", path, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["clean"] is True
+        assert payload["findings"] == []

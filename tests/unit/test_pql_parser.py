@@ -167,3 +167,30 @@ class TestExpressions:
     def test_multiple_select_items(self):
         query = parse("select A.name, A.version from Provenance.file as A")
         assert len(query.select) == 2
+
+
+class TestPositions:
+    """Lexer line/column survives into the AST (and equality ignores it)."""
+
+    def test_binding_paths_carry_positions(self):
+        query = parse("select F from Provenance.file as F\n"
+                      "              F.input as G")
+        first, second = query.bindings
+        assert (first.path.line, first.path.column) == (1, 14)
+        assert (second.path.line, second.path.column) == (2, 14)
+        assert second.path.steps[0].edge.line == 2
+
+    def test_compare_carries_operator_position(self):
+        query = parse('select F from Provenance.file as F\n'
+                      'where F.name = "x"')
+        assert (query.where.line, query.where.column) == (2, 13)
+
+    def test_call_carries_name_position(self):
+        query = parse("select count(F) from Provenance.file as F")
+        assert (query.select[0].expr.line,
+                query.select[0].expr.column) == (1, 7)
+
+    def test_positions_do_not_affect_equality(self):
+        a = parse("select F from Provenance.file as F")
+        b = parse("select F\nfrom\n  Provenance.file as F")
+        assert a == b
