@@ -1,0 +1,71 @@
+"""What does passmon cost?  Wall-clock overhead of the obs subsystem.
+
+Runs the same write-heavy pipeline workload three ways -- observability
+off, metrics on (the default), metrics + tracing on -- and prints the
+wall-clock cost of each step up, plus the per-layer metrics breakdown
+the instrumented runs produced.  The design target (ISSUE 2) is that
+the disabled configuration is indistinguishable from the seed and the
+default configuration stays within a few percent.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.obs import FIGURE2_LAYERS
+from repro.system import System
+
+N_FILES = 300
+
+
+def run_pipeline(observability: bool, tracing: bool) -> System:
+    system = System.boot(observability=observability, tracing=tracing)
+    with system.process(argv=["writer"]) as proc:
+        for index in range(N_FILES):
+            fd = proc.open(f"/pass/f{index}", "w")
+            proc.write(fd, b"x" * 128)
+            proc.close(fd)
+    system.sync()
+    system.query("select F from Provenance.file as F limit 5")
+    return system
+
+
+def timed(observability: bool, tracing: bool) -> tuple[float, System]:
+    started = time.perf_counter()
+    system = run_pipeline(observability, tracing)
+    return time.perf_counter() - started, system
+
+
+@pytest.mark.benchmark(group="obs-overhead")
+def test_obs_overhead_and_breakdown(benchmark):
+    def experiment():
+        off, _ = timed(observability=False, tracing=False)
+        metrics, system = timed(observability=True, tracing=False)
+        traced, traced_sys = timed(observability=True, tracing=True)
+        return off, metrics, traced, system, traced_sys
+
+    off, metrics, traced, system, traced_sys = benchmark.pedantic(
+        experiment, rounds=1, iterations=1)
+
+    def pct(cost: float) -> float:
+        return 100.0 * (cost - off) / off if off else 0.0
+
+    print()
+    print(f"{'configuration':26s}{'wall':>10s}{'vs off':>10s}")
+    print(f"{'observability off':26s}{off:>9.3f}s{'--':>10s}")
+    print(f"{'metrics (default)':26s}{metrics:>9.3f}s{pct(metrics):>9.1f}%")
+    print(f"{'metrics + tracing':26s}{traced:>9.3f}s{pct(traced):>9.1f}%")
+
+    print()
+    print("per-layer counters (metrics run):")
+    stats = system.stats()
+    for layer in FIGURE2_LAYERS:
+        counters = stats[layer]["counters"]
+        top = sorted(counters.items(), key=lambda kv: -kv[1])[:3]
+        cells = "  ".join(f"{name}={value}" for name, value in top)
+        print(f"  {layer:12s}{cells}")
+        assert sum(counters.values()) > 0, layer
+
+    assert len(traced_sys.trace()) > 0

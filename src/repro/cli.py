@@ -24,9 +24,9 @@ from repro.query.report import ancestry_tree, to_dot
 from repro.system import System
 
 
-def build_quickstart() -> System:
+def build_quickstart(tracing: bool = False) -> System:
     """A small pipeline: two files, one transforming process."""
-    system = System.boot()
+    system = System.boot(tracing=tracing)
     with system.process(argv=["ingest"]) as proc:
         fd = proc.open("/pass/raw.dat", "w")
         proc.write(fd, b"1,2,3\n")
@@ -42,7 +42,7 @@ def build_quickstart() -> System:
     return system
 
 
-def build_challenge() -> System:
+def build_challenge(tracing: bool = False) -> System:
     """The First Provenance Challenge workflow under PA-Kepler."""
     from repro.apps.kepler.challenge import (
         build_challenge as build_wf,
@@ -51,7 +51,7 @@ def build_challenge() -> System:
     )
     from repro.apps.kepler.director import run_workflow
 
-    system = System.boot()
+    system = System.boot(tracing=tracing)
     ensure_dirs(system, "/pass/inputs", "/pass/work", "/pass/out")
     generate_inputs(system, "/pass/inputs")
     workflow = build_wf("/pass/inputs", "/pass/work", "/pass/out")
@@ -60,11 +60,11 @@ def build_challenge() -> System:
     return system
 
 
-def build_malware() -> System:
+def build_malware(tracing: bool = False) -> System:
     """The section 3.2 malware scenario."""
     from repro.apps.links import Browser, Web
 
-    system = System.boot()
+    system = System.boot(tracing=tracing)
     web = Web()
     web.publish("http://portal/", links=["http://codecs/"])
     web.publish("http://codecs/", links=["http://codecs/get"])
@@ -236,10 +236,83 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+#: Canned query run by `stats`/`trace` so the PQL layer has activity
+#: to report even when the user supplies no query of their own.
+STATS_QUERY = "select F from Provenance.file as F"
+
+
+def _layer_lines(layers: dict) -> list[str]:
+    """Text rendering of a System.stats() snapshot."""
+    lines = []
+    for layer in sorted(layers):
+        section = layers[layer]
+        lines.append(f"== {layer} ==")
+        for name, value in sorted(section.get("counters", {}).items()):
+            lines.append(f"  {name:32s}{value:>12}")
+        for name, value in sorted(section.get("gauges", {}).items()):
+            lines.append(f"  {name:32s}{value:>12}")
+        for name, summ in sorted(section.get("histograms", {}).items()):
+            lines.append(
+                f"  {name:32s}count={summ['count']} "
+                f"mean={summ['mean']:.6g} p50={summ['p50']:.6g} "
+                f"p99={summ['p99']:.6g}")
+    return lines
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    """Build a scenario, exercise a query, dump per-layer metrics."""
+    import json
+
+    system = SCENARIOS[args.scenario](tracing=args.trace)
+    system.query(args.query or STATS_QUERY)
+    payload = {
+        "scenario": args.scenario,
+        "simulated_elapsed_s": system.elapsed(),
+        "layers": system.stats(),
+    }
+    if args.trace:
+        payload["spans_collected"] = len(system.trace())
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(f"scenario {args.scenario!r}: simulated "
+              f"t={system.elapsed():.3f}s", file=sys.stderr)
+        print("\n".join(_layer_lines(payload["layers"])))
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Build a scenario with tracing on and dump the collected spans."""
+    import json
+
+    system = SCENARIOS[args.scenario](tracing=True)
+    system.query(args.query or STATS_QUERY)
+    spans = system.trace()
+    if args.limit:
+        spans = spans[-args.limit:]
+    if args.json:
+        print(json.dumps(spans, indent=2, sort_keys=True))
+        return 0
+    print(f"{len(spans)} spans (oldest first):", file=sys.stderr)
+    for span in spans:
+        indent = "  " * span["depth"]
+        tags = "".join(f" {k}={v}" for k, v in sorted(span["tags"].items()))
+        print(f"{indent}{span['name']} [{span['layer'] or '-'}] "
+              f"sim={span['sim_elapsed'] * 1e3:.3f}ms "
+              f"wall={span['wall_elapsed'] * 1e3:.3f}ms{tags}")
+    return 0
+
+
+BENCH_SCHEMA = "repro-bench/1"
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
+    import json
+
     from repro.workloads import ALL_WORKLOADS
     from repro.workloads.base import overhead_pct, run_local
 
+    workloads = {}
     print(f"{'Benchmark':22s}{'Ext3':>10s}{'PASSv2':>10s}{'Overhead':>10s}")
     for workload_cls in ALL_WORKLOADS:
         workload = workload_cls(scale=args.scale)
@@ -248,6 +321,21 @@ def cmd_bench(args: argparse.Namespace) -> int:
         print(f"{workload.name:22s}{base.elapsed:>9.1f}s"
               f"{passv2.elapsed:>9.1f}s"
               f"{overhead_pct(base, passv2):>9.1f}%")
+        workloads[workload.name] = {
+            "ext3_elapsed_s": base.elapsed,
+            "passv2_elapsed_s": passv2.elapsed,
+            "overhead_pct": overhead_pct(base, passv2),
+            "provenance_bytes": passv2.provenance_bytes,
+            "index_bytes": passv2.index_bytes,
+            "layers": passv2.layer_counters(),
+        }
+    if args.out != "-":
+        payload = {"schema": BENCH_SCHEMA, "scale": args.scale,
+                   "workloads": workloads}
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.out}", file=sys.stderr)
     return 0
 
 
@@ -321,7 +409,34 @@ def main(argv: list[str] | None = None) -> int:
 
     bench = sub.add_parser("bench", help="quick Table 2 (left) run")
     bench.add_argument("--scale", type=float, default=0.2)
+    bench.add_argument("--out", metavar="FILE", default="BENCH_results.json",
+                       help="where to write the JSON results "
+                            "('-' to skip; default %(default)s)")
     bench.set_defaults(func=cmd_bench)
+
+    stats = sub.add_parser(
+        "stats", help="build a scenario and dump per-layer metrics")
+    stats.add_argument("--scenario", choices=sorted(SCENARIOS),
+                       default="quickstart")
+    stats.add_argument("--query", metavar="TEXT",
+                       help="PQL query to exercise (default: canned)")
+    stats.add_argument("--trace", action="store_true",
+                       help="also collect spans (reported as a count)")
+    stats.add_argument("--json", action="store_true",
+                       help="machine-readable snapshot for CI")
+    stats.set_defaults(func=cmd_stats)
+
+    trace = sub.add_parser(
+        "trace", help="build a scenario with tracing on and dump spans")
+    trace.add_argument("--scenario", choices=sorted(SCENARIOS),
+                       default="quickstart")
+    trace.add_argument("--query", metavar="TEXT",
+                       help="PQL query to exercise (default: canned)")
+    trace.add_argument("--limit", type=int, metavar="N",
+                       help="only the newest N spans")
+    trace.add_argument("--json", action="store_true",
+                       help="machine-readable span list")
+    trace.set_defaults(func=cmd_trace)
 
     inspect = sub.add_parser("inspect",
                              help="show per-component statistics")

@@ -86,6 +86,26 @@ class Analyzer:
         self.records_out = 0
         self.duplicates_dropped = 0
         self.freezes = 0
+        self.cycle_breaks = 0
+
+    def bind_obs(self, obs) -> None:
+        """Expose this analyzer's totals to the observability layer.
+
+        Registered as a snapshot-time collector so the per-record hot
+        path (submit/_admit) carries no instrumentation calls at all.
+        """
+        obs.add_collector("analyzer", self._obs_counters)
+
+    def _obs_counters(self) -> dict:
+        return {
+            "records_in": self.records_in,
+            "records_out": self.records_out,
+            "duplicates_dropped": self.duplicates_dropped,
+            "freezes": self.freezes,
+            "cycle_breaks": self.cycle_breaks,
+            "observed_versions": len(self._observed),
+            "registered_objects": len(self._registry),
+        }
 
     # -- object registry ------------------------------------------------------
 
@@ -151,11 +171,13 @@ class Analyzer:
             # *older* version of yourself is fine (that is what freezing
             # produces); the current version would be a 1-cycle.
             if value.version >= current.version:
+                self.cycle_breaks += 1
                 self.freeze(subject)
             return
         # Observed versions are immutable: if anything already depends on
         # the subject's current version, new ancestry starts a new one.
         if current in self._observed:
+            self.cycle_breaks += 1
             self.freeze(subject)
 
     def freeze(self, subject: Freezable) -> int:

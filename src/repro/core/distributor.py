@@ -48,6 +48,22 @@ class Distributor:
         self.records_cached = 0
         self.records_flushed = 0
         self.records_discarded = 0
+        self.flush_calls = 0
+
+    def bind_obs(self, obs) -> None:
+        """Expose cache/flush totals to the observability layer
+        (snapshot-time collector; dispatch() itself is untouched)."""
+        obs.add_collector("distributor", self._obs_counters)
+
+    def _obs_counters(self) -> dict:
+        return {
+            "records_cached": self.records_cached,
+            "records_flushed": self.records_flushed,
+            "records_discarded": self.records_discarded,
+            "flush_calls": self.flush_calls,
+            "pending_pnodes": len(self._cache),
+            "assigned_pnodes": len(self._assigned),
+        }
 
     # -- configuration ----------------------------------------------------------
 
@@ -95,6 +111,7 @@ class Distributor:
         """
         if pnode not in self._cache:
             return 0
+        self.flush_calls += 1
         volume = (volume or self._hints.get(pnode)
                   or self._assigned.get(pnode) or self.default_volume)
         if volume is None:

@@ -47,6 +47,27 @@ class Observer:
         #: *different* process starts a new version, so independent
         #: producing runs never merge their ancestry into one version.
         self._last_writer: dict[int, int] = {}
+        # Statistics (all submissions funnel through _submit).
+        self.records_emitted = 0
+        self.disclosed_count = 0
+
+    def bind_obs(self, obs) -> None:
+        """Expose emission totals to the observability layer."""
+        obs.add_collector("observer", self._obs_counters)
+
+    def _obs_counters(self) -> dict:
+        return {
+            "records_emitted": self.records_emitted,
+            "disclosed_records": self.disclosed_count,
+            "objects_identified": len(self._identified),
+            "transient_pnodes": self._transient.high_water - 1,
+        }
+
+    def _submit(self, proto: ProtoRecord) -> None:
+        """Emit one proto-record downstream (the observer's choke point,
+        so record emission is countable per layer)."""
+        self.records_emitted += 1
+        self.analyzer.submit(proto)
 
     # -- pnode management -------------------------------------------------------
 
@@ -71,11 +92,11 @@ class Observer:
         obj_type = ObjType.FILE if inode.volume.pass_capable else ObjType.NP_FILE
         if inode.is_dir:
             obj_type = ObjType.DIR
-        self.analyzer.submit(ProtoRecord(inode, Attr.TYPE, obj_type))
+        self._submit(ProtoRecord(inode, Attr.TYPE, obj_type))
         if path:
-            self.analyzer.submit(ProtoRecord(inode, Attr.NAME, path))
-        self.analyzer.submit(ProtoRecord(inode, Attr.TIME,
-                                         self.kernel.clock.now))
+            self._submit(ProtoRecord(inode, Attr.NAME, path))
+        self._submit(ProtoRecord(inode, Attr.TIME,
+                                  self.kernel.clock.now))
 
     def identify_process(self, proc: Process) -> None:
         """Emit TYPE/NAME/ARGV/ENV/PID for a process on first contact."""
@@ -83,20 +104,20 @@ class Observer:
         if proc.pnode in self._identified:
             return
         self._identified.add(proc.pnode)
-        self.analyzer.submit(ProtoRecord(proc, Attr.TYPE, ObjType.PROCESS))
+        self._submit(ProtoRecord(proc, Attr.TYPE, ObjType.PROCESS))
         if proc.argv:
-            self.analyzer.submit(ProtoRecord(proc, Attr.NAME, proc.argv[0]))
-            self.analyzer.submit(ProtoRecord(proc, Attr.ARGV, "\0".join(proc.argv)))
+            self._submit(ProtoRecord(proc, Attr.NAME, proc.argv[0]))
+            self._submit(ProtoRecord(proc, Attr.ARGV, "\0".join(proc.argv)))
         if proc.env:
             env = "\0".join(f"{key}={value}" for key, value in sorted(proc.env.items()))
-            self.analyzer.submit(ProtoRecord(proc, Attr.ENV, env))
-        self.analyzer.submit(ProtoRecord(proc, Attr.PID, proc.pid))
-        self.analyzer.submit(ProtoRecord(proc, Attr.TIME,
-                                         self.kernel.clock.now))
+            self._submit(ProtoRecord(proc, Attr.ENV, env))
+        self._submit(ProtoRecord(proc, Attr.PID, proc.pid))
+        self._submit(ProtoRecord(proc, Attr.TIME,
+                                  self.kernel.clock.now))
         # Environment facts system-level provenance is valued for:
         # "the specific binaries, libraries, and kernel modules in use".
-        self.analyzer.submit(ProtoRecord(proc, Attr.KERNEL,
-                                         self.kernel.version_string))
+        self._submit(ProtoRecord(proc, Attr.KERNEL,
+                                  self.kernel.version_string))
 
     def identify_pipe(self, pipe: Pipe) -> None:
         """Emit TYPE for a pipe on first contact."""
@@ -104,7 +125,7 @@ class Observer:
         if pipe.pnode in self._identified:
             return
         self._identified.add(pipe.pnode)
-        self.analyzer.submit(ProtoRecord(pipe, Attr.TYPE, ObjType.PIPE))
+        self._submit(ProtoRecord(pipe, Attr.TYPE, ObjType.PIPE))
 
     # -- system-call handlers (called by the interceptor) ---------------------------
 
@@ -114,14 +135,14 @@ class Observer:
         self.identify_process(proc)
         if binary is not None:
             self.identify_inode(binary, path)
-            self.analyzer.submit(ProtoRecord(proc, Attr.EXEC, binary.ref()))
+            self._submit(ProtoRecord(proc, Attr.EXEC, binary.ref()))
 
     def on_fork(self, child: Process, parent: Optional[Process]) -> None:
         """New process: identity + FORKPARENT ancestry edge."""
         self.identify_process(child)
         if parent is not None:
             self.identify_process(parent)
-            self.analyzer.submit(
+            self._submit(
                 ProtoRecord(child, Attr.FORKPARENT, parent.ref())
             )
 
@@ -137,7 +158,7 @@ class Observer:
         self.identify_inode(inode, path)
         self.identify_process(proc)
         data = self._read_data(inode, offset, length)
-        self.analyzer.submit(ProtoRecord(proc, Attr.INPUT, inode.ref()))
+        self._submit(ProtoRecord(proc, Attr.INPUT, inode.ref()))
         return data
 
     def on_write(self, proc: Process, inode: Inode, path: Optional[str],
@@ -147,7 +168,7 @@ class Observer:
         self.identify_inode(inode, path)
         self.identify_process(proc)
         self._note_writer(inode, proc.pnode)
-        self.analyzer.submit(ProtoRecord(inode, Attr.INPUT, proc.ref()))
+        self._submit(ProtoRecord(inode, Attr.INPUT, proc.ref()))
         return self._write_data(inode, offset, data, length)
 
     def _note_writer(self, inode: Inode, writer_pnode: int) -> None:
@@ -163,9 +184,9 @@ class Observer:
         self.identify_inode(inode, path)
         self.identify_process(proc)
         if readable:
-            self.analyzer.submit(ProtoRecord(proc, Attr.INPUT, inode.ref()))
+            self._submit(ProtoRecord(proc, Attr.INPUT, inode.ref()))
         if writable:
-            self.analyzer.submit(ProtoRecord(inode, Attr.INPUT, proc.ref()))
+            self._submit(ProtoRecord(inode, Attr.INPUT, proc.ref()))
 
     def on_pipe_create(self, proc: Process, pipe: Pipe) -> None:
         """New pipe: assign identity."""
@@ -176,13 +197,13 @@ class Observer:
         """pipe depends on the writing process."""
         self.identify_pipe(pipe)
         self.identify_process(proc)
-        self.analyzer.submit(ProtoRecord(pipe, Attr.INPUT, proc.ref()))
+        self._submit(ProtoRecord(pipe, Attr.INPUT, proc.ref()))
 
     def on_pipe_read(self, proc: Process, pipe: Pipe) -> None:
         """the reading process depends on the pipe."""
         self.identify_pipe(pipe)
         self.identify_process(proc)
-        self.analyzer.submit(ProtoRecord(proc, Attr.INPUT, pipe.ref()))
+        self._submit(ProtoRecord(proc, Attr.INPUT, pipe.ref()))
 
     def on_drop_inode(self, inode: Inode) -> None:
         """Last unlink: transient (non-PASS) file provenance with no
@@ -199,7 +220,8 @@ class Observer:
         if proc is not None:
             self.identify_process(proc)
         for proto in protos:
-            self.analyzer.submit(proto)
+            self.disclosed_count += 1
+            self._submit(proto)
 
     def disclosed_write(self, proc: Optional[Process], inode: Inode,
                         path: Optional[str], offset: int,
@@ -211,10 +233,11 @@ class Observer:
         if proc is not None and (data is not None or length is not None):
             self._note_writer(inode, proc.pnode)
         for proto in protos:
-            self.analyzer.submit(proto)
+            self.disclosed_count += 1
+            self._submit(proto)
         if proc is not None:
             self.identify_process(proc)
-            self.analyzer.submit(ProtoRecord(inode, Attr.INPUT, proc.ref()))
+            self._submit(ProtoRecord(inode, Attr.INPUT, proc.ref()))
         if data is None and length is None:
             return 0
         return self._write_data(inode, offset, data, length)

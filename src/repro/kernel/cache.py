@@ -19,17 +19,31 @@ from __future__ import annotations
 from collections import OrderedDict
 
 from repro.kernel.params import CacheParams
+from repro.obs import NULL_OBS
 
 
 class PageCache:
     """LRU cache of (volume id, block number) pages."""
 
-    def __init__(self, params: CacheParams | None = None):
+    def __init__(self, params: CacheParams | None = None, obs=NULL_OBS):
         self.params = params or CacheParams()
         self._pages: OrderedDict[tuple[int, int], None] = OrderedDict()
         self._capacity = self.params.capacity_pages
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+        # Hit/miss totals are harvested at snapshot time; lookup() stays
+        # untouched by observability.
+        obs.add_collector("cache", self._obs_counters)
+
+    def _obs_counters(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "pages": len(self._pages),
+            "capacity_pages": self._capacity,
+        }
 
     @property
     def capacity(self) -> int:
@@ -43,6 +57,7 @@ class PageCache:
         self._capacity = max(1, int(self._capacity * factor))
         while len(self._pages) > self._capacity:
             self._pages.popitem(last=False)
+            self.evictions += 1
 
     def lookup(self, volume_id: int, block: int) -> bool:
         """Return True on a hit (and refresh recency)."""
@@ -61,6 +76,7 @@ class PageCache:
         self._pages.move_to_end(key)
         while len(self._pages) > self._capacity:
             self._pages.popitem(last=False)
+            self.evictions += 1
 
     def invalidate(self, volume_id: int, block: int) -> None:
         """Drop one page if present."""

@@ -31,6 +31,21 @@ class SimClock:
         self._now += seconds
         self._by_category[category] += seconds
 
+    def since(self, t0: float) -> float:
+        """Elapsed simulated seconds since an earlier reading.
+
+        The canonical way to measure an epoch on a *shared* clock:
+        ``System.boot`` records ``clock.now`` as its boot time and
+        reports ``elapsed()`` relative to it, so booting a second
+        machine on the same clock (NFS pairs, sequential benchmark
+        systems) starts its elapsed time at zero instead of inheriting
+        the earlier machine's history."""
+        if t0 > self._now:
+            raise ValueError(
+                f"reference time {t0} is in the future (now {self._now})"
+            )
+        return self._now - t0
+
     def breakdown(self) -> dict[str, float]:
         """Copy of the per-category time accounting."""
         return dict(self._by_category)

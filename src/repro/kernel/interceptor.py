@@ -13,6 +13,8 @@ from __future__ import annotations
 from collections import Counter
 from typing import TYPE_CHECKING, Optional
 
+from repro.obs import NULL_OBS
+
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.observer import Observer
 
@@ -27,10 +29,22 @@ class Interceptor:
     """Counts syscall events and hands them to the observer when enabled."""
 
     def __init__(self, observer: Optional["Observer"] = None,
-                 enabled: bool = False):
+                 enabled: bool = False, obs=NULL_OBS):
         self.observer = observer
         self.enabled = enabled
         self.counts: Counter[str] = Counter()
+        #: Events reported while detached (the baseline path).
+        self.unobserved = 0
+        # The counts above are harvested at snapshot time -- the event()
+        # hot path pays nothing for observability.
+        obs.add_collector("interceptor", self._obs_counters)
+
+    def _obs_counters(self) -> dict:
+        counters = {f"event.{name}": count
+                    for name, count in self.counts.items()}
+        counters["events_total"] = sum(self.counts.values())
+        counters["events_unobserved"] = self.unobserved
+        return counters
 
     def attach(self, observer: "Observer") -> None:
         """Wire in the observer and start capturing."""
@@ -53,4 +67,5 @@ class Interceptor:
         self.counts[name] += 1
         if self.enabled and self.observer is not None:
             return self.observer
+        self.unobserved += 1
         return None

@@ -22,6 +22,7 @@ from repro.kernel.process import FileDescriptor, Process
 from repro.kernel.syscalls import Syscalls
 from repro.kernel.vfs import VFS, Inode
 from repro.kernel.volume import Volume, allocate_volume_id
+from repro.obs import Observability
 
 #: A program body: called with a Syscalls facade; may return an exit code
 #: or a generator (cooperatively scheduled via Kernel.start/schedule).
@@ -35,16 +36,21 @@ class Kernel:
     version_string = "sim-linux-2.6.23.17-pass"
 
     def __init__(self, params: Optional[SimParams] = None,
-                 hostname: str = "sim", clock: Optional[SimClock] = None):
+                 hostname: str = "sim", clock: Optional[SimClock] = None,
+                 obs: Optional[Observability] = None):
         self.params = params or SimParams()
         self.hostname = hostname
         # Machines in one simulation (NFS client + server) share a clock,
         # so a blocking RPC charges the caller's elapsed time correctly.
         self.clock = clock or SimClock()
+        # One observability instance per machine; spans read simulated
+        # time through the tracer instead of ad-hoc clock.now calls.
+        self.obs = obs or Observability()
+        self.obs.bind_clock(lambda: self.clock.now)
         self.disk = SimulatedDisk(self.clock, self.params.disk)
-        self.cache = PageCache(self.params.cache)
+        self.cache = PageCache(self.params.cache, obs=self.obs)
         self.vfs = VFS()
-        self.interceptor = Interceptor()
+        self.interceptor = Interceptor(obs=self.obs)
 
         self._volumes_by_name: dict[str, Volume] = {}
         self._volumes_by_id: dict[int, Volume] = {}
@@ -149,6 +155,9 @@ class Kernel:
             record_cost=self.params.cpu.provenance_record,
         )
         self.observer = Observer(self, self.analyzer, self.distributor)
+        self.analyzer.bind_obs(self.obs)
+        self.distributor.bind_obs(self.obs)
+        self.observer.bind_obs(self.obs)
         self.interceptor.attach(self.observer)
 
     def disable_provenance(self) -> None:

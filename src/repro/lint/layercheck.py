@@ -64,6 +64,12 @@ PL207 = rule(
     "PL207", WARNING, "wildcard import",
     "'from x import *' makes the import graph -- and therefore the "
     "layering -- unauditable.")
+PL208 = rule(
+    "PL208", ERROR, "observability layer is not a leaf",
+    "repro.obs sits beside repro.core.errors as a leaf every layer may "
+    "import; the moment it imports any other repro layer, every "
+    "instrumentation site becomes a hidden cross-layer edge and the "
+    "Figure-2 discipline collapses.")
 
 #: Layer allow-lists: module-prefix of the *importing* layer -> import
 #: prefixes it may use.  The longest matching importer prefix wins.
@@ -72,29 +78,33 @@ PL207 = rule(
 #: every layer by design).
 _ALLOWED: dict[str, tuple[str, ...]] = {
     # Applications: the disclosure surface only.
-    "repro.apps": ("repro.apps", "repro.core"),
+    "repro.apps": ("repro.apps", "repro.core", "repro.obs"),
     # Core pipeline: itself + the kernel interception boundary.
     "repro.core": ("repro.core", "repro.kernel.kernel",
-                   "repro.kernel.process", "repro.kernel.vfs"),
+                   "repro.kernel.process", "repro.kernel.vfs",
+                   "repro.obs"),
     # Kernel: itself + core datatypes (records flow upward only).
-    "repro.kernel": ("repro.kernel", "repro.core"),
+    "repro.kernel": ("repro.kernel", "repro.core", "repro.obs"),
     # PQL: itself, core datatypes, and the static analyzer pre-pass.
-    "repro.pql": ("repro.pql", "repro.core", "repro.lint"),
+    "repro.pql": ("repro.pql", "repro.core", "repro.lint", "repro.obs"),
     # Storage: itself, core, kernel structures it persists to, and the
     # query engine Waldo serves.
     "repro.storage": ("repro.storage", "repro.core", "repro.kernel",
-                      "repro.pql"),
+                      "repro.pql", "repro.obs"),
     # NFS: a distributed client/server pair; it drives whole systems.
     "repro.nfs": ("repro.nfs", "repro.core", "repro.kernel",
-                  "repro.storage", "repro.system"),
+                  "repro.storage", "repro.system", "repro.obs"),
     # The linter itself: core vocabulary + the PQL AST it checks.
-    "repro.lint": ("repro.lint", "repro.core", "repro.pql"),
+    "repro.lint": ("repro.lint", "repro.core", "repro.pql", "repro.obs"),
+    # Observability: a leaf beside core.errors -- every layer above may
+    # import it, it may import nothing (PL208).
+    "repro.obs": ("repro.obs",),
 }
 
 #: Layers that must never import the system facade or the CLI
 #: (they sit *below* them in Figure 2).
 _NO_FACADE = ("repro.apps", "repro.core", "repro.kernel", "repro.pql",
-              "repro.storage", "repro.lint")
+              "repro.storage", "repro.lint", "repro.obs")
 
 #: Modules allowed to name the framing attributes: the Lasagna log and
 #: recovery, Waldo (which strips orphans), fsck (which checks for
@@ -232,7 +242,11 @@ class _ModuleChecker(pyast.NodeVisitor):
         if self.layer is None:
             return
         if not _within(target, _ALLOWED[self.layer]):
-            if self.layer == "repro.apps":
+            if self.layer == "repro.obs":
+                self._emit(PL208, f"{self.module} imports {target}; "
+                           "repro.obs is a leaf layer and may import "
+                           "nothing from the rest of repro", node)
+            elif self.layer == "repro.apps":
                 self._emit(PL201, f"{self.module} imports {target}; "
                            "applications may touch only the "
                            "libpass/DPAPI surface (repro.core)", node)

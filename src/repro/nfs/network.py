@@ -9,12 +9,14 @@ from __future__ import annotations
 from repro.core.errors import NetworkPartition
 from repro.kernel.clock import SimClock
 from repro.kernel.params import NetParams
+from repro.obs import NULL_OBS
 
 
 class Network:
     """One LAN segment with uniform RTT and bandwidth."""
 
-    def __init__(self, clock: SimClock, params: NetParams | None = None):
+    def __init__(self, clock: SimClock, params: NetParams | None = None,
+                 obs=NULL_OBS):
         self.clock = clock
         self.params = params or NetParams()
         self.partitioned = False
@@ -22,10 +24,22 @@ class Network:
         self.calls = 0
         self.bytes_sent = 0
         self.bytes_received = 0
+        self.failed_calls = 0
+        # RPC round-trips, harvested at snapshot time.
+        obs.add_collector("nfs", self._obs_counters)
+
+    def _obs_counters(self) -> dict:
+        return {
+            "rpc_calls": self.calls,
+            "bytes_sent": self.bytes_sent,
+            "bytes_received": self.bytes_received,
+            "failed_calls": self.failed_calls,
+        }
 
     def call(self, request_bytes: int = 0, response_bytes: int = 0) -> None:
         """Charge one RPC: RTT + payload wire time both ways."""
         if self.partitioned:
+            self.failed_calls += 1
             raise NetworkPartition("network is partitioned")
         self.calls += 1
         self.bytes_sent += request_bytes

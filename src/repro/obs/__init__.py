@@ -1,0 +1,120 @@
+"""Observability for the provenance pipeline (ISSUE 2).
+
+``repro.obs`` is a *leaf* layer: it imports nothing from the rest of
+``repro``, and every other layer may import it -- the same position
+``repro.core.errors`` occupies, enforced by the PL208 lint rule.  One
+:class:`Observability` instance belongs to each simulated machine
+(:class:`repro.kernel.kernel.Kernel`) and carries:
+
+* :class:`~repro.obs.metrics.MetricsRegistry` -- counters, gauges, and
+  histograms keyed by Figure-2 layer (and volume where relevant);
+* :class:`~repro.obs.trace.Tracer` -- nestable spans over simulated and
+  wall clocks, collected in a ring buffer, exportable as JSON.
+
+Components that are wired without an explicit handle fall back to
+:data:`NULL_OBS`, a shared disabled instance, so instrumentation sites
+cost one branch when observability is off.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.obs.trace import NULL_SPAN, Span, Tracer
+
+#: The Figure-2 layers every snapshot must report (the stats contract;
+#: see docs/OBSERVABILITY.md).
+FIGURE2_LAYERS = ("interceptor", "observer", "analyzer", "distributor",
+                  "lasagna", "waldo", "pql")
+
+#: Supporting layers that also report (page cache, NFS wire).
+AUX_LAYERS = ("cache", "nfs")
+
+#: Every documented layer key, in stack order.
+LAYERS = FIGURE2_LAYERS + AUX_LAYERS
+
+
+class Observability:
+    """One machine's metrics registry + tracer, with shared toggles."""
+
+    def __init__(self, metrics_enabled: bool = True,
+                 trace_enabled: bool = False,
+                 sim_now: Optional[Callable[[], float]] = None):
+        self.metrics = MetricsRegistry(enabled=metrics_enabled,
+                                       layers=LAYERS)
+        self.tracer = Tracer(enabled=trace_enabled, sim_now=sim_now)
+
+    # -- toggles ---------------------------------------------------------------
+
+    @property
+    def enabled(self) -> bool:
+        """True when metric collection is on."""
+        return self.metrics.enabled
+
+    def enable(self, tracing: Optional[bool] = None) -> None:
+        """Turn on metrics (and optionally set tracing)."""
+        self.metrics.enabled = True
+        if tracing is not None:
+            self.tracer.enabled = tracing
+
+    def disable(self) -> None:
+        """Turn off metrics and tracing."""
+        self.metrics.enabled = False
+        self.tracer.enabled = False
+
+    def bind_clock(self, sim_now: Callable[[], float]) -> None:
+        """Give spans access to the machine's simulated clock."""
+        self.tracer.bind_clock(sim_now)
+
+    # -- convenience delegates (the surface layers actually use) --------------
+
+    def inc(self, layer: str, name: str, n: float = 1,
+            volume: Optional[str] = None) -> None:
+        self.metrics.inc(layer, name, n, volume=volume)
+
+    def observe(self, layer: str, name: str, value: float,
+                volume: Optional[str] = None) -> None:
+        self.metrics.observe(layer, name, value, volume=volume)
+
+    def set_gauge(self, layer: str, name: str, value: float,
+                  volume: Optional[str] = None) -> None:
+        self.metrics.set_gauge(layer, name, value, volume=volume)
+
+    def add_collector(self, layer: str, collector,
+                      volume: Optional[str] = None) -> None:
+        self.metrics.add_collector(layer, collector, volume=volume)
+
+    def span(self, name: str, layer: str = "", **tags):
+        return self.tracer.span(name, layer=layer, **tags)
+
+    def stats(self) -> dict:
+        """The metrics snapshot (layer -> counters/gauges/histograms)."""
+        return self.metrics.snapshot()
+
+    def trace(self) -> list[dict]:
+        """The finished spans, exported."""
+        return self.tracer.export()
+
+    def reset(self) -> None:
+        """Zero metrics and drop finished spans."""
+        self.metrics.reset()
+        self.tracer.reset()
+
+
+#: Shared disabled instance for components wired without a handle.
+#: Never enable it -- boot a machine with observability on instead.
+NULL_OBS = Observability(metrics_enabled=False, trace_enabled=False)
+
+__all__ = [
+    "AUX_LAYERS",
+    "FIGURE2_LAYERS",
+    "Histogram",
+    "LAYERS",
+    "MetricsRegistry",
+    "NULL_OBS",
+    "NULL_SPAN",
+    "Observability",
+    "Span",
+    "Tracer",
+]

@@ -8,9 +8,11 @@ just a merged record stream) and runs PQL text against it.
 from __future__ import annotations
 
 import itertools
+import time
 from typing import Iterable
 
 from repro.core.records import ProvenanceRecord
+from repro.obs import NULL_OBS
 from repro.pql.ast import Query
 from repro.pql.evaluator import Evaluator
 from repro.pql.oem import OEMGraph, OEMNode
@@ -27,28 +29,34 @@ class QueryEngine:
     ``check=False`` (construction-time or per call) to opt out.
     """
 
-    def __init__(self, graph: OEMGraph, check: bool = True):
+    def __init__(self, graph: OEMGraph, check: bool = True, obs=NULL_OBS):
         self.graph = graph
+        self.obs = obs
         self._evaluator = Evaluator(graph)
         self._cache: dict[str, Query] = {}
         self._check = check
         self._vocabulary = None
 
     @classmethod
-    def from_records(cls, records: Iterable[ProvenanceRecord]) -> "QueryEngine":
+    def from_records(cls, records: Iterable[ProvenanceRecord],
+                     obs=NULL_OBS) -> "QueryEngine":
         """Build an engine from a raw record stream."""
-        return cls(OEMGraph.build(records))
+        return cls(OEMGraph.build(records), obs=obs)
 
     @classmethod
-    def from_databases(cls, databases) -> "QueryEngine":
+    def from_databases(cls, databases, obs=NULL_OBS) -> "QueryEngine":
         """Build an engine over several volumes' databases at once."""
         streams = [db.all_records() for db in databases]
-        return cls(OEMGraph.build(itertools.chain(*streams)))
+        return cls(OEMGraph.build(itertools.chain(*streams)), obs=obs)
 
     def parse(self, text: str) -> Query:
         """Parse (and cache) one query string."""
         if text not in self._cache:
-            self._cache[text] = parse(text)
+            with self.obs.span("pql.parse", layer="pql"):
+                self._cache[text] = parse(text)
+            self.obs.inc("pql", "parses")
+        else:
+            self.obs.inc("pql", "parse_cache_hits")
         return self._cache[text]
 
     def vocabulary(self):
@@ -66,11 +74,24 @@ class QueryEngine:
 
     def execute(self, text: str, check: bool | None = None) -> list:
         """Run a PQL query; returns rows (see Evaluator.execute)."""
-        query = self.parse(text)
-        if self._check if check is None else check:
-            from repro.lint.pqlcheck import check_query, raise_on_errors
-            raise_on_errors(check_query(query, self.vocabulary()))
-        return self._evaluator.execute(query)
+        started = time.perf_counter()
+        with self.obs.span("pql.execute", layer="pql") as span:
+            query = self.parse(text)
+            if self._check if check is None else check:
+                with self.obs.span("pql.check", layer="pql"):
+                    from repro.lint.pqlcheck import (check_query,
+                                                     raise_on_errors)
+                    raise_on_errors(check_query(query, self.vocabulary()))
+            with self.obs.span("pql.eval", layer="pql"):
+                rows = self._evaluator.execute(query)
+            span.tag("rows", len(rows))
+        self.obs.inc("pql", "queries_executed")
+        self.obs.inc("pql", "rows_returned", len(rows))
+        # Evaluation timing is wall-clock: queries run above the simulated
+        # machine, so perf work on the engine needs real seconds.
+        self.obs.observe("pql", "execute_wall_s",
+                         time.perf_counter() - started)
+        return rows
 
     def execute_refs(self, text: str) -> list:
         """Like :meth:`execute`, but nodes come back as ObjectRefs."""

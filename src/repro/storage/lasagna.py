@@ -23,6 +23,7 @@ from repro.core.records import Attr, Bundle, ProvenanceRecord
 from repro.kernel.params import SimParams
 from repro.kernel.vfs import Inode
 from repro.kernel.volume import Volume
+from repro.obs import NULL_OBS
 from repro.storage.log import ProvenanceLog, data_digest, md5_value
 
 
@@ -35,7 +36,8 @@ class CrashPoint(KernelError):
 class Lasagna:
     """Stackable provenance-aware file system over one volume."""
 
-    def __init__(self, volume: Volume, params: Optional[SimParams] = None):
+    def __init__(self, volume: Volume, params: Optional[SimParams] = None,
+                 obs=NULL_OBS):
         if not volume.pass_capable:
             from repro.core.errors import NotPassVolume
             raise NotPassVolume(
@@ -43,6 +45,7 @@ class Lasagna:
             )
         self.volume = volume
         self.params = params or SimParams()
+        self.obs = obs
         self.log = ProvenanceLog(
             volume.clock, self.params.log, disk_write=self._log_disk_write,
         )
@@ -59,6 +62,18 @@ class Lasagna:
         # Statistics.
         self.stack_pages_copied = 0
         self.data_writes = 0
+        # WAP log bytes/flushes and the stackable-copy tax, per volume
+        # (harvested at snapshot time; the write path stays bare).
+        obs.add_collector("lasagna", self._obs_counters,
+                          volume=volume.name)
+        obs.add_collector("lasagna", self.log.obs_counters,
+                          volume=volume.name)
+
+    def _obs_counters(self) -> dict:
+        return {
+            "stack_pages_copied": self.stack_pages_copied,
+            "data_writes": self.data_writes,
+        }
 
     # -- log plumbing ----------------------------------------------------------------
 
@@ -92,8 +107,10 @@ class Lasagna:
 
     def sync(self) -> None:
         """Flush the log, rotate it, and let Waldo drain it."""
-        self.log.flush()
-        self.log.rotate()
+        with self.obs.span("lasagna.sync", layer="lasagna",
+                           volume=self.volume.name):
+            self.log.flush()
+            self.log.rotate()
 
     # -- stackable data path -----------------------------------------------------------
 

@@ -123,6 +123,19 @@ class ProvenanceLog:
         self.bytes_logged = 0
         self.flushes = 0
         self.txns_opened = 0
+        self.rotations = 0
+
+    def obs_counters(self) -> dict:
+        """WAP log totals, harvested by the observability layer (the
+        owning Lasagna registers this under its volume)."""
+        return {
+            "log_records": self.records_logged,
+            "log_bytes": self.bytes_logged,
+            "log_flushes": self.flushes,
+            "txns_opened": self.txns_opened,
+            "rotations": self.rotations,
+            "buffered_records": len(self._buffer),
+        }
 
     # -- buffering --------------------------------------------------------------
 
@@ -191,6 +204,7 @@ class ProvenanceLog:
         segment = self.current
         segment.closed = True
         self.closed_segments.append(segment)
+        self.rotations += 1
         self._segment_index += 1
         self.current = LogSegment(self._segment_index)
         if self.on_segment_closed is not None:

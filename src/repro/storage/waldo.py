@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.core.records import Attr, ProvenanceRecord
+from repro.obs import NULL_OBS
 from repro.storage.database import ProvenanceDatabase
 from repro.storage.log import LogSegment, ProvenanceLog
 
@@ -26,15 +27,28 @@ class Waldo:
 
     def __init__(self, log: ProvenanceLog,
                  database: Optional[ProvenanceDatabase] = None,
-                 name: str = "waldo"):
+                 name: str = "waldo", obs=NULL_OBS):
         self.log = log
         self.database = database or ProvenanceDatabase(name)
         self.name = name
+        self.obs = obs
         #: Records discarded because their transaction never committed.
         self.orphaned: list[ProvenanceRecord] = []
         self.segments_processed = 0
+        self.records_inserted = 0
+        self.drains = 0
         log.on_segment_closed = self._segment_closed
         self._pending_segments: list[LogSegment] = []
+        obs.add_collector("waldo", self._obs_counters, volume=name)
+
+    def _obs_counters(self) -> dict:
+        return {
+            "records_inserted": self.records_inserted,
+            "segments_processed": self.segments_processed,
+            "drains": self.drains,
+            "orphaned_records": len(self.orphaned),
+            "database_records": len(self.database),
+        }
 
     # -- log watching -------------------------------------------------------------
 
@@ -49,11 +63,20 @@ class Waldo:
         current segment should be included.
         """
         inserted = 0
-        self.log.take_closed()          # clear the log's own list
-        while self._pending_segments:
-            segment = self._pending_segments.pop(0)
-            inserted += self._process(segment)
-            self.segments_processed += 1
+        with self.obs.span("waldo.drain", layer="waldo",
+                           volume=self.name) as span:
+            self.log.take_closed()      # clear the log's own list
+            while self._pending_segments:
+                segment = self._pending_segments.pop(0)
+                inserted += self._process(segment)
+                self.segments_processed += 1
+            span.tag("records", inserted)
+        self.drains += 1
+        self.records_inserted += inserted
+        # Replay throughput: how many committed records one drain moved
+        # into the database (percentiles over drains).
+        self.obs.observe("waldo", "records_per_drain", inserted,
+                         volume=self.name)
         return inserted
 
     def _process(self, segment: LogSegment) -> int:

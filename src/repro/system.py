@@ -26,6 +26,7 @@ from repro.core.pnode import ObjectRef
 from repro.kernel.kernel import Kernel, Program
 from repro.kernel.params import SimParams
 from repro.kernel.syscalls import Syscalls
+from repro.obs import Observability
 from repro.storage.database import ProvenanceDatabase
 from repro.storage.lasagna import Lasagna
 from repro.storage.waldo import Waldo
@@ -40,6 +41,10 @@ class System:
         self.waldos = waldos
         self.provenance = provenance
         self._query_engine = None
+        # Shared clocks (NFS pairs, sequential benchmark systems) carry
+        # history from earlier machines; elapsed() measures from *this*
+        # boot so reuse stays monotonic and starts at zero.
+        self._boot_time = kernel.clock.now
 
     # -- construction ----------------------------------------------------------------
 
@@ -49,7 +54,9 @@ class System:
              plain_volumes: Iterable[str] = ("scratch",),
              provenance: bool = True,
              hostname: str = "sim",
-             clock=None) -> "System":
+             clock=None,
+             observability: bool = True,
+             tracing: bool = False) -> "System":
         """Boot a machine.
 
         Each name in ``pass_volumes`` becomes a PASS-enabled volume
@@ -58,14 +65,20 @@ class System:
         first PASS volume hosts provenance of transient objects by
         default.  With ``provenance=False`` the same volumes exist but
         the interceptor stays detached (the benchmark baseline).
+
+        ``observability`` controls per-layer metrics (cheap; on by
+        default), ``tracing`` controls span collection (off by
+        default).  Both are readable via :meth:`stats` / :meth:`trace`.
         """
-        kernel = Kernel(params, hostname=hostname, clock=clock)
+        obs = Observability(metrics_enabled=observability,
+                            trace_enabled=tracing)
+        kernel = Kernel(params, hostname=hostname, clock=clock, obs=obs)
         waldos: dict[str, Waldo] = {}
         for name in pass_volumes:
             volume = kernel.add_volume(name, f"/{name}", pass_capable=True)
             if provenance:
-                lasagna = Lasagna(volume, kernel.params)
-                waldos[name] = Waldo(lasagna.log, name=name)
+                lasagna = Lasagna(volume, kernel.params, obs=kernel.obs)
+                waldos[name] = Waldo(lasagna.log, name=name, obs=kernel.obs)
         for name in plain_volumes:
             kernel.add_volume(name, f"/{name}", pass_capable=False)
         if provenance:
@@ -101,11 +114,12 @@ class System:
     def sync(self) -> int:
         """Flush all logs and drain all Waldos; returns records inserted."""
         inserted = 0
-        for volume in self.kernel.pass_volumes():
-            if volume.lasagna is not None:
-                volume.lasagna.sync()
-        for waldo in self.waldos.values():
-            inserted += waldo.drain()
+        with self.obs.span("system.sync", layer="system"):
+            for volume in self.kernel.pass_volumes():
+                if volume.lasagna is not None:
+                    volume.lasagna.sync()
+            for waldo in self.waldos.values():
+                inserted += waldo.drain()
         self._query_engine = None       # graph must be rebuilt
         return inserted
 
@@ -140,7 +154,8 @@ class System:
         """
         if self._query_engine is None:
             from repro.pql.engine import QueryEngine
-            self._query_engine = QueryEngine.from_databases(self.databases())
+            self._query_engine = QueryEngine.from_databases(
+                self.databases(), obs=self.obs)
         return self._query_engine
 
     def ancestry(self, name: str):
@@ -153,9 +168,25 @@ class System:
         from repro.storage.fsck import fsck
         return fsck(self.databases())
 
+    # -- observability ----------------------------------------------------------
+
+    @property
+    def obs(self) -> "Observability":
+        """This machine's observability instance (metrics + tracer)."""
+        return self.kernel.obs
+
+    def stats(self) -> dict:
+        """Per-layer metrics snapshot (see docs/OBSERVABILITY.md)."""
+        return self.kernel.obs.stats()
+
+    def trace(self) -> list[dict]:
+        """Finished spans (boot with ``tracing=True`` to collect)."""
+        return self.kernel.obs.trace()
+
     def elapsed(self) -> float:
-        """Simulated seconds since boot."""
-        return self.kernel.clock.now
+        """Simulated seconds since *this* system booted (monotonic even
+        when the underlying clock is shared with earlier boots)."""
+        return self.kernel.clock.since(self._boot_time)
 
     def __repr__(self) -> str:
         mode = "PASSv2" if self.provenance else "baseline"

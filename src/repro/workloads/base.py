@@ -35,10 +35,18 @@ class WorkloadResult:
     index_bytes: int = 0            # index size (Table 3 col 3 delta)
     stats: dict = field(default_factory=dict)
     breakdown: dict = field(default_factory=dict)
+    #: Per-layer observability snapshot of the measured machine
+    #: (layer -> counters/gauges/histograms; see docs/OBSERVABILITY.md).
+    layer_metrics: dict = field(default_factory=dict)
 
     @property
     def provenance_total(self) -> int:
         return self.provenance_bytes + self.index_bytes
+
+    def layer_counters(self) -> dict:
+        """Compact {layer: {counter: value}} view of ``layer_metrics``."""
+        return {layer: dict(section.get("counters", {}))
+                for layer, section in self.layer_metrics.items()}
 
 
 def overhead_pct(base: WorkloadResult, testable: WorkloadResult) -> float:
@@ -94,6 +102,7 @@ def run_local(workload: Workload, provenance: bool,
         sizes = system.waldos["pass"].sizes()
         result.provenance_bytes = sizes["database"]
         result.index_bytes = sizes["indexes"]
+    result.layer_metrics = system.stats()
     return result
 
 
@@ -111,7 +120,8 @@ def run_nfs(workload: Workload, provenance: bool,
                              hostname="client", clock=clock,
                              pass_volumes=("local",) if provenance else (),
                              plain_volumes=("scratch",))
-    network = Network(clock, client_sys.kernel.params.net)
+    network = Network(clock, client_sys.kernel.params.net,
+                      obs=client_sys.obs)
     client = NFSClient(client_sys, server, network, mountpoint="/nfs")
     workload.setup(client_sys, "/nfs")
     setup_bytes = server.volume.data_bytes_written
@@ -133,4 +143,5 @@ def run_nfs(workload: Workload, provenance: bool,
         result.provenance_bytes = sizes["database"]
         result.index_bytes = sizes["indexes"]
     result.stats["network_calls"] = network.calls
+    result.layer_metrics = client_sys.stats()
     return result

@@ -1,0 +1,97 @@
+"""Property-based tests: observability never perturbs the pipeline.
+
+The passmon contract is that instrumentation is *read-only*: booting
+with metrics and tracing on (or off) must not change what provenance is
+recorded, what queries return, or whether fsck passes.  We drive the
+same randomly generated op sequence through differently instrumented
+machines and demand identical observable outcomes.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core.errors import FileNotFound
+from repro.core.pnode import ObjectRef, local_of, volume_of
+from repro.system import System
+
+N_FILES = 4
+
+#: An op is (kind, file index, payload byte).
+ops = st.lists(
+    st.tuples(st.sampled_from(["write", "append", "read", "copy"]),
+              st.integers(0, N_FILES - 1),
+              st.integers(0, 255)),
+    max_size=25,
+)
+
+
+def path(index: int) -> str:
+    return f"/pass/f{index}.dat"
+
+
+def run_ops(system: System, stream) -> None:
+    for kind, index, byte in stream:
+        with system.process(argv=[kind]) as proc:
+            if kind in ("write", "append"):
+                fd = proc.open(path(index), "w" if kind == "write" else "a")
+                proc.write(fd, bytes([byte]))
+                proc.close(fd)
+            elif kind == "read":
+                try:
+                    fd = proc.open(path(index), "r")
+                except FileNotFound:
+                    continue
+                proc.read(fd)
+                proc.close(fd)
+            else:                       # copy f[index] -> f[index+1 mod N]
+                try:
+                    fd = proc.open(path(index), "r")
+                except FileNotFound:
+                    continue
+                data = proc.read(fd)
+                proc.close(fd)
+                out = proc.open(path((index + 1) % N_FILES), "w")
+                proc.write(out, data)
+                proc.close(out)
+    system.sync()
+
+
+QUERY = "select F.name from Provenance.file as F"
+
+
+def outcomes(system: System):
+    """Observable results, canonicalised for comparison across boots.
+
+    Volume ids are process-global by design (they cross machines over
+    NFS), so pnode numbers differ between sequential boots even for
+    identical histories; we compare them modulo volume-id renaming.
+    """
+    rows = sorted(map(repr, system.query(QUERY)))
+    report = system.fsck()
+    raw = [r for db in system.databases() for r in db.all_records()]
+    vols = sorted({volume_of(x.pnode) for r in raw
+                   for x in (r.subject, r.value)
+                   if isinstance(x, ObjectRef)})
+    rank = {v: i for i, v in enumerate(vols)}
+
+    def canon(value):
+        if isinstance(value, ObjectRef):
+            return (f"ref:{rank[volume_of(value.pnode)]}"
+                    f":{local_of(value.pnode)}:{value.version}")
+        return repr(value)
+
+    records = sorted((canon(r.subject), r.attr, canon(r.value))
+                     for r in raw)
+    return rows, report.clean, len(report.findings), records
+
+
+@settings(max_examples=25, deadline=None)
+@given(stream=ops)
+def test_instrumentation_is_read_only(stream):
+    traced = System.boot(tracing=True)
+    run_ops(traced, stream)
+    dark = System.boot(observability=False)
+    run_ops(dark, stream)
+    assert outcomes(traced) == outcomes(dark)
+    # The traced machine really did collect something to compare.
+    assert traced.trace() or not stream

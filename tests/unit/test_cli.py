@@ -1,8 +1,11 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
-from repro.cli import SCENARIOS, main
+from repro.cli import BENCH_SCHEMA, SCENARIOS, main
+from repro.obs import FIGURE2_LAYERS, LAYERS
 
 
 class TestDemoCommand:
@@ -65,10 +68,60 @@ class TestOtherCommands:
             assert component in out
 
     def test_bench_tiny(self, capsys):
-        assert main(["bench", "--scale", "0.02"]) == 0
+        assert main(["bench", "--scale", "0.02", "--out", "-"]) == 0
         out = capsys.readouterr().out
         assert "Linux Compile" in out
         assert "%" in out
+
+    def test_bench_writes_results_json(self, tmp_path, capsys):
+        target = tmp_path / "BENCH_results.json"
+        assert main(["bench", "--scale", "0.02",
+                     "--out", str(target)]) == 0
+        results = json.loads(target.read_text())
+        assert results["schema"] == BENCH_SCHEMA
+        assert results["scale"] == 0.02
+        workload = results["workloads"]["Linux Compile"]
+        for key in ("ext3_elapsed_s", "passv2_elapsed_s", "overhead_pct",
+                    "provenance_bytes", "index_bytes", "layers"):
+            assert key in workload
+        # Per-layer breakdown covers the documented contract keys.
+        for layer in LAYERS:
+            assert layer in workload["layers"]
+
+    def test_stats_text(self, capsys):
+        assert main(["stats"]) == 0
+        out = capsys.readouterr().out
+        for layer in FIGURE2_LAYERS:
+            assert f"== {layer} ==" in out
+
+    def test_stats_json_contract(self, capsys):
+        assert main(["stats", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["scenario"] == "quickstart"
+        assert payload["simulated_elapsed_s"] > 0
+        for layer in LAYERS:
+            assert layer in payload["layers"]
+        for layer in FIGURE2_LAYERS:
+            counters = payload["layers"][layer]["counters"]
+            assert sum(counters.values()) > 0, layer
+
+    def test_stats_with_tracing(self, capsys):
+        assert main(["stats", "--trace", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["spans_collected"] > 0
+
+    def test_trace_text(self, capsys):
+        assert main(["trace"]) == 0
+        out = capsys.readouterr().out
+        assert "pql.execute" in out
+        assert "waldo.drain" in out
+        assert "sim=" in out and "wall=" in out
+
+    def test_trace_json_with_limit(self, capsys):
+        assert main(["trace", "--json", "--limit", "3"]) == 0
+        spans = json.loads(capsys.readouterr().out)
+        assert len(spans) == 3
+        assert spans[-1]["name"] == "pql.execute"
 
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):

@@ -52,6 +52,12 @@ RULE_CASES = [
     ("PL207", "repro.workloads.sloppy",
      "from repro.core.records import *\n",
      "from repro.core.records import Attr\n"),
+    ("PL208", "repro.obs.badobs",
+     "from repro.storage.log import ProvenanceLog\n",
+     "from repro.obs.metrics import MetricsRegistry\n"),
+    ("PL208", "repro.obs.badobs",
+     "from repro.core.records import Attr\n",
+     "import collections\n"),
 ]
 
 
@@ -78,6 +84,21 @@ class TestBoundaries:
     def test_storage_may_serve_queries(self):
         assert codes("from repro.pql.engine import QueryEngine\n",
                      "repro.storage.waldo") == []
+
+    def test_obs_importable_from_every_layer(self):
+        # The observability layer is a leaf: anything may use it.
+        for module in ("repro.kernel.badk", "repro.core.badc",
+                       "repro.storage.bads", "repro.pql.badp",
+                       "repro.nfs.badn", "repro.apps.bada",
+                       "repro.query.badq", "repro.workloads.badw",
+                       "repro.lint.badl"):
+            assert codes("from repro.obs import NULL_OBS\n", module) == []
+
+    def test_obs_must_stay_a_leaf(self):
+        # ...and in exchange it may import nothing from repro itself.
+        found = codes("from repro.kernel.clock import SimClock\n",
+                      "repro.obs.badobs")
+        assert "PL208" in found
 
     def test_relative_import_resolves_against_module(self):
         # "from ..storage import codec" inside repro.apps.x is a
