@@ -339,6 +339,40 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_crashtest(args: argparse.Namespace) -> int:
+    """Enumerate every reachable crash point, replay + recover each,
+    and verify the WAP invariant (see docs/TESTING.md)."""
+    from repro.crashlab import WORKLOADS, explore
+
+    names = args.workload or sorted(WORKLOADS)
+    for name in names:
+        if name not in WORKLOADS:
+            print(f"crashtest: unknown workload {name!r} "
+                  f"(have: {', '.join(sorted(WORKLOADS))})", file=sys.stderr)
+            return 2
+    report = explore(names, seed=args.seed)
+    if args.json:
+        print(report.render_json())
+    else:
+        print(f"crashtest: {report.crash_points} crash points across "
+              f"{', '.join(names)} (seed {report.seed})")
+        for name in names:
+            hits = report.site_hits.get(name, {})
+            print(f"  {name}: {sum(hits.values())} reachable hits over "
+                  f"{len(hits)} sites")
+        print(f"  wap violations:   {report.wap_violation_count}")
+        print(f"  non-idempotent:   {report.non_idempotent}")
+        print(f"  fsck dirty:       {report.fsck_dirty}")
+        print(f"  unfired points:   {report.unfired}")
+        for point in report.points:
+            if not point.ok:
+                print(f"  FAIL {point.workload} {point.site}#{point.hit} "
+                      f"[{point.action}] wap={len(point.wap_violations)} "
+                      f"idempotent={point.idempotent} "
+                      f"fsck={point.fsck_findings}")
+    return 0 if report.ok else 1
+
+
 def cmd_inspect(args: argparse.Namespace) -> int:
     system = build_quickstart()
     kernel = system.kernel
@@ -437,6 +471,17 @@ def main(argv: list[str] | None = None) -> int:
     trace.add_argument("--json", action="store_true",
                        help="machine-readable span list")
     trace.set_defaults(func=cmd_trace)
+
+    crashtest = sub.add_parser(
+        "crashtest",
+        help="explore every crash point and verify the WAP invariant")
+    crashtest.add_argument("--workload", action="append", metavar="NAME",
+                           help="workload(s) to explore (default: all)")
+    crashtest.add_argument("--seed", type=int, default=0,
+                           help="fault-plan seed (default %(default)s)")
+    crashtest.add_argument("--json", action="store_true",
+                           help="machine-readable report for CI")
+    crashtest.set_defaults(func=cmd_crashtest)
 
     inspect = sub.add_parser("inspect",
                              help="show per-component statistics")

@@ -34,10 +34,13 @@ class Distributor:
 
     def __init__(self, flush_sink: FlushSink,
                  volume_name_of: Callable[[int], str],
-                 default_volume: Optional[str] = None):
+                 default_volume: Optional[str] = None,
+                 faults=None):
         self._flush_sink = flush_sink
         self._volume_name_of = volume_name_of
         self.default_volume = default_volume
+        #: Fault injector (repro.faults); None keeps flush() bare.
+        self._faults = faults
         #: Cached records of not-yet-persistent objects, by pnode.
         self._cache: dict[int, list[ProvenanceRecord]] = {}
         #: Volume each flushed transient pnode was assigned to.
@@ -111,6 +114,10 @@ class Distributor:
         """
         if pnode not in self._cache:
             return 0
+        if self._faults is not None:
+            # Cached transient records are about to become durable.
+            self._faults.fire("distributor.flush", pnode=pnode,
+                              records=len(self._cache[pnode]))
         self.flush_calls += 1
         volume = (volume or self._hints.get(pnode)
                   or self._assigned.get(pnode) or self.default_volume)

@@ -1,0 +1,34 @@
+"""crashlab: workloads + explorer harness over the fault layer.
+
+``repro.faults`` is the injection machinery (a leaf layer: sites all
+over the stack hold an injector).  This package is the *harness* that
+drives whole systems through crashes and judges the recoveries; like
+``repro.workloads`` and the CLI it sits above every layer and is
+unconstrained by the Figure-2 import discipline.
+"""
+
+from repro.crashlab.explorer import (
+    CrashPointResult,
+    ExplorerReport,
+    ScenarioResult,
+    discover,
+    explore,
+    run_crash_scenario,
+    scenario_fingerprint,
+    wap_violations,
+)
+from repro.crashlab.workloads import WORKLOADS, churn, quickstart
+
+__all__ = [
+    "CrashPointResult",
+    "ExplorerReport",
+    "ScenarioResult",
+    "WORKLOADS",
+    "churn",
+    "discover",
+    "explore",
+    "quickstart",
+    "run_crash_scenario",
+    "scenario_fingerprint",
+    "wap_violations",
+]

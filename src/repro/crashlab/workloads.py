@@ -1,0 +1,74 @@
+"""Deterministic workloads the crash-point explorer replays.
+
+Each workload is a plain function ``(System) -> None`` that drives a
+fixed sequence of syscalls.  Determinism is the whole point: the same
+workload against the same seed produces the same site-hit sequence, so
+a crash point discovered in the trace run is reachable -- at exactly
+the same (site, hit) coordinate -- in every replay.
+
+Workloads live here (not in ``repro.workloads``) because they are test
+fixtures for the fault harness, sized to cover every injection site,
+not Table-2 benchmark recreations.
+"""
+
+from __future__ import annotations
+
+from repro.system import System
+
+
+def quickstart(system: System) -> None:
+    """The CLI quickstart pipeline: ingest writes, transform reads and
+    writes, one final sync."""
+    with system.process(argv=["ingest"]) as proc:
+        fd = proc.open("/pass/raw.dat", "w")
+        proc.write(fd, b"1,2,3\n")
+        proc.close(fd)
+    with system.process(argv=["transform"]) as proc:
+        fd = proc.open("/pass/raw.dat", "r")
+        data = proc.read(fd)
+        proc.close(fd)
+        out = proc.open("/pass/result.dat", "w")
+        proc.write(out, data.upper())
+        proc.close(out)
+    system.sync()
+
+
+def churn(system: System) -> None:
+    """A metadata- and overwrite-heavy mix: create, overwrite, rename,
+    copy, delete, with a mid-run sync so Waldo has multiple segments
+    to drain (and multiple ``waldo.drain.segment`` crash points)."""
+    with system.process(argv=["churner"]) as proc:
+        proc.mkdir("/pass/work")
+        for index in range(8):
+            fd = proc.open(f"/pass/work/src-{index}.dat", "w")
+            proc.write(fd, bytes([65 + index]) * (128 + 64 * index))
+            proc.close(fd)
+        # Overwrite half of them (version churn + fresh MD5 records).
+        for index in range(0, 8, 2):
+            fd = proc.open(f"/pass/work/src-{index}.dat", "w")
+            proc.write(fd, bytes([97 + index]) * 256)
+            proc.close(fd)
+    system.sync()
+    with system.process(argv=["refiner"]) as proc:
+        # Copy through a reader process: INPUT ancestry across files.
+        for index in range(4):
+            fd = proc.open(f"/pass/work/src-{index}.dat", "r")
+            payload = proc.read(fd)
+            proc.close(fd)
+            out = proc.open(f"/pass/work/dst-{index}.dat", "w")
+            proc.write(out, payload[::-1])
+            proc.close(out)
+        proc.rename("/pass/work/dst-0.dat", "/pass/work/final-0.dat")
+        proc.rename("/pass/work/dst-1.dat", "/pass/work/final-1.dat")
+        proc.unlink("/pass/work/src-7.dat")
+        fd = proc.open("/pass/work/summary.dat", "w")
+        proc.write(fd, b"refined:4\n")
+        proc.close(fd)
+    system.sync()
+
+
+#: Name -> workload function; the explorer and CLI enumerate this.
+WORKLOADS = {
+    "quickstart": quickstart,
+    "churn": churn,
+}

@@ -1,0 +1,47 @@
+"""crashlab's injection layer: deterministic fault injection.
+
+A leaf layer beside ``repro.obs``: the kernel, core, storage, and NFS
+layers all host injection sites, so this package may import nothing
+from above the kernel (lint rule PL209).  The exploration harness that
+*drives* whole systems through crashes lives in ``repro.crashlab``.
+
+Usage::
+
+    from repro.faults import FaultInjector, FaultPlan
+
+    plan = FaultPlan(seed=7).add("log.flush.append", "torn",
+                                 nth=3, param=0.5)
+    injector = FaultInjector(plan)
+    system = System.boot(faults=injector)     # arm every site
+    ...                                       # CrashFault when it fires
+
+With no injector armed every site is a single ``is not None`` test --
+hot paths stay free.
+"""
+
+from repro.faults.inject import FaultAction, FaultInjector
+from repro.faults.plan import (
+    ACTIONS,
+    CrashFault,
+    FaultError,
+    FaultPlan,
+    FaultRule,
+    IOFault,
+)
+from repro.faults.sites import CRASHABLE, SITES, SiteSpec, site_names, spec
+
+__all__ = [
+    "ACTIONS",
+    "CRASHABLE",
+    "CrashFault",
+    "FaultAction",
+    "FaultError",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultRule",
+    "IOFault",
+    "SITES",
+    "SiteSpec",
+    "site_names",
+    "spec",
+]

@@ -1,0 +1,137 @@
+"""Declarative fault plans (crashlab).
+
+A :class:`FaultPlan` is a seeded bag of :class:`FaultRule`\\ s.  Each
+rule names an injection *site* (exact name or ``fnmatch`` pattern --
+see docs/TESTING.md for the catalogue) and fires either on the Nth hit
+of that site or with probability ``p`` per hit.  Given the same plan
+and the same workload, the fired faults are byte-for-byte identical
+across runs: the only randomness is the plan's own ``random.Random``,
+and it is consumed in a deterministic order.
+
+The plan layer knows nothing about what a fault *means*; it only
+decides **when** one fires.  Interpretation (crash, torn write, dropped
+RPC, ...) belongs to the injection sites via :mod:`repro.faults.inject`.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import random
+from dataclasses import dataclass, field
+from typing import Optional
+
+#: Actions a rule may request.  Sites interpret the ones that make
+#: sense for them; ``crash`` and ``io_error`` are raised centrally by
+#: the injector, the rest are returned to the site as a FaultAction.
+ACTIONS = ("crash", "torn", "io_error", "drop", "delay", "duplicate",
+           "partition")
+
+
+class FaultError(Exception):
+    """Base class of every injected fault.
+
+    Defined here (not in repro.core.errors): the fault layer is a leaf
+    beside kernel/obs and may not import the core pipeline (PL209).
+    """
+
+
+class CrashFault(FaultError):
+    """The machine died at an injection site.  Nothing after this point
+    may become durable; the harness recovers from the log."""
+
+    def __init__(self, message: str, site: str = "", hit: int = 0,
+                 torn_bytes: int = 0):
+        super().__init__(message)
+        self.site = site
+        self.hit = hit
+        self.torn_bytes = torn_bytes
+
+
+class IOFault(FaultError):
+    """A transient I/O error (EIO-style); the operation failed but the
+    machine survives."""
+
+    def __init__(self, message: str, site: str = "", hit: int = 0):
+        super().__init__(message)
+        self.site = site
+        self.hit = hit
+
+
+@dataclass
+class FaultRule:
+    """One declarative trigger: fire ``action`` at ``site``.
+
+    Exactly one of ``nth`` (1-based hit count at that site) and
+    ``probability`` (per-hit chance, drawn from the plan's seeded RNG)
+    must be given.  ``param`` carries the action's knob: tear fraction
+    for ``torn`` (0..1 of the in-flight batch), seconds for ``delay``,
+    failing-call window length for ``partition``.  ``max_fires`` bounds
+    how often a probabilistic rule may fire (nth rules fire at most
+    once by construction).
+    """
+
+    site: str
+    action: str
+    nth: Optional[int] = None
+    probability: Optional[float] = None
+    param: float = 0.0
+    max_fires: int = 1
+    fired: int = field(default=0, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.action not in ACTIONS:
+            raise ValueError(f"unknown fault action: {self.action!r}")
+        if (self.nth is None) == (self.probability is None):
+            raise ValueError(
+                "exactly one of nth= and probability= must be set")
+        if self.nth is not None and self.nth < 1:
+            raise ValueError("nth is 1-based and must be >= 1")
+        if self.probability is not None \
+                and not 0.0 <= self.probability <= 1.0:
+            raise ValueError("probability must be within [0, 1]")
+        if self.max_fires < 1:
+            raise ValueError("max_fires must be >= 1")
+
+    def matches(self, site: str) -> bool:
+        """Exact match, or fnmatch pattern (``net.*``)."""
+        return site == self.site or fnmatch.fnmatchcase(site, self.site)
+
+    def should_fire(self, hit: int, rng: random.Random) -> bool:
+        """Decide for one hit; consumes the RNG only for probability
+        rules (deterministic draw order = deterministic faults)."""
+        if self.fired >= self.max_fires:
+            return False
+        if self.nth is not None:
+            fire = hit == self.nth
+        else:
+            fire = rng.random() < self.probability
+        if fire:
+            self.fired += 1
+        return fire
+
+
+class FaultPlan:
+    """A seeded collection of fault rules."""
+
+    def __init__(self, rules: Optional[list[FaultRule]] = None,
+                 seed: int = 0):
+        self.rules = list(rules or ())
+        self.seed = seed
+        self.rng = random.Random(seed)
+
+    def add(self, site: str, action: str, **kwargs) -> "FaultPlan":
+        """Append one rule; returns self for chaining."""
+        self.rules.append(FaultRule(site, action, **kwargs))
+        return self
+
+    def rules_for(self, site: str) -> list[FaultRule]:
+        return [rule for rule in self.rules if rule.matches(site)]
+
+    def reset(self) -> None:
+        """Rewind fire counts and the RNG for an identical re-run."""
+        self.rng = random.Random(self.seed)
+        for rule in self.rules:
+            rule.fired = 0
+
+    def __repr__(self) -> str:
+        return f"<FaultPlan seed={self.seed} rules={len(self.rules)}>"

@@ -59,10 +59,12 @@ class SimulatedDisk:
     """One disk: regions, a head position, and cost accounting."""
 
     def __init__(self, clock: SimClock, params: DiskParams | None = None,
-                 total_blocks: int = 1 << 26):
+                 total_blocks: int = 1 << 26, faults=None):
         self._clock = clock
         self.params = params or DiskParams()
         self.total_blocks = total_blocks
+        #: Fault injector (repro.faults); None keeps the I/O paths bare.
+        self._faults = faults
         self._regions: dict[str, Region] = {}
         self._next_region_start = 0
         self._head = 0
@@ -108,6 +110,10 @@ class SimulatedDisk:
     def _access(self, block: int, nbytes: int, category: str) -> None:
         if nbytes < 0:
             raise ValueError("negative I/O size")
+        if self._faults is not None:
+            site = ("disk.read" if category == "disk_read"
+                    else "disk.write")
+            self._faults.fire(site, block=block, nbytes=nbytes)
         p = self.params
         distance = abs(block - self._head)
         if distance <= p.sequential_window:
@@ -135,6 +141,8 @@ class SimulatedDisk:
         """
         if nbytes < 0:
             raise ValueError("negative I/O size")
+        if self._faults is not None:
+            self._faults.fire("disk.clustered_write", nbytes=nbytes)
         self.short_seeks += 1
         cost = self.params.short_seek + barrier + nbytes / self.params.transfer_rate
         self._clock.advance(cost, "disk_write")

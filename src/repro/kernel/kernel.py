@@ -37,7 +37,7 @@ class Kernel:
 
     def __init__(self, params: Optional[SimParams] = None,
                  hostname: str = "sim", clock: Optional[SimClock] = None,
-                 obs: Optional[Observability] = None):
+                 obs: Optional[Observability] = None, faults=None):
         self.params = params or SimParams()
         self.hostname = hostname
         # Machines in one simulation (NFS client + server) share a clock,
@@ -47,7 +47,11 @@ class Kernel:
         # time through the tracer instead of ad-hoc clock.now calls.
         self.obs = obs or Observability()
         self.obs.bind_clock(lambda: self.clock.now)
-        self.disk = SimulatedDisk(self.clock, self.params.disk)
+        #: Fault injector (repro.faults); threaded into the disk and the
+        #: provenance pipeline.  None (the default) keeps every site bare.
+        self.faults = faults
+        self.disk = SimulatedDisk(self.clock, self.params.disk,
+                                  faults=faults)
         self.cache = PageCache(self.params.cache, obs=self.obs)
         self.vfs = VFS()
         self.interceptor = Interceptor(obs=self.obs)
@@ -148,6 +152,7 @@ class Kernel:
             flush_sink=self._provenance_sink,
             volume_name_of=lambda vid: self.volume_by_id(vid).name,
             default_volume=default_volume,
+            faults=self.faults,
         )
         self.analyzer = Analyzer(
             emit=self.distributor.dispatch,

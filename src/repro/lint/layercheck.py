@@ -70,6 +70,13 @@ PL208 = rule(
     "import; the moment it imports any other repro layer, every "
     "instrumentation site becomes a hidden cross-layer edge and the "
     "Figure-2 discipline collapses.")
+PL209 = rule(
+    "PL209", ERROR, "fault layer reaches above the kernel",
+    "repro.faults is injection machinery held by sites across the "
+    "stack; it may import only itself, the kernel, and obs.  A "
+    "core/storage/nfs back-edge would make every injection site a "
+    "hidden upward dependency (the crashlab harness that drives whole "
+    "systems lives in repro.crashlab, above the layers).")
 
 #: Layer allow-lists: module-prefix of the *importing* layer -> import
 #: prefixes it may use.  The longest matching importer prefix wins.
@@ -82,29 +89,35 @@ _ALLOWED: dict[str, tuple[str, ...]] = {
     # Core pipeline: itself + the kernel interception boundary.
     "repro.core": ("repro.core", "repro.kernel.kernel",
                    "repro.kernel.process", "repro.kernel.vfs",
-                   "repro.obs"),
+                   "repro.obs", "repro.faults"),
     # Kernel: itself + core datatypes (records flow upward only).
-    "repro.kernel": ("repro.kernel", "repro.core", "repro.obs"),
+    "repro.kernel": ("repro.kernel", "repro.core", "repro.obs",
+                     "repro.faults"),
     # PQL: itself, core datatypes, and the static analyzer pre-pass.
     "repro.pql": ("repro.pql", "repro.core", "repro.lint", "repro.obs"),
     # Storage: itself, core, kernel structures it persists to, and the
     # query engine Waldo serves.
     "repro.storage": ("repro.storage", "repro.core", "repro.kernel",
-                      "repro.pql", "repro.obs"),
+                      "repro.pql", "repro.obs", "repro.faults"),
     # NFS: a distributed client/server pair; it drives whole systems.
     "repro.nfs": ("repro.nfs", "repro.core", "repro.kernel",
-                  "repro.storage", "repro.system", "repro.obs"),
+                  "repro.storage", "repro.system", "repro.obs",
+                  "repro.faults"),
     # The linter itself: core vocabulary + the PQL AST it checks.
     "repro.lint": ("repro.lint", "repro.core", "repro.pql", "repro.obs"),
     # Observability: a leaf beside core.errors -- every layer above may
     # import it, it may import nothing (PL208).
     "repro.obs": ("repro.obs",),
+    # Fault injection: a near-leaf beside obs.  Sites everywhere hold
+    # an injector, so it may not depend on the layers hosting them
+    # (PL209): itself, the kernel below, and obs only.
+    "repro.faults": ("repro.faults", "repro.kernel", "repro.obs"),
 }
 
 #: Layers that must never import the system facade or the CLI
 #: (they sit *below* them in Figure 2).
 _NO_FACADE = ("repro.apps", "repro.core", "repro.kernel", "repro.pql",
-              "repro.storage", "repro.lint", "repro.obs")
+              "repro.storage", "repro.lint", "repro.obs", "repro.faults")
 
 #: Modules allowed to name the framing attributes: the Lasagna log and
 #: recovery, Waldo (which strips orphans), fsck (which checks for
@@ -246,6 +259,10 @@ class _ModuleChecker(pyast.NodeVisitor):
                 self._emit(PL208, f"{self.module} imports {target}; "
                            "repro.obs is a leaf layer and may import "
                            "nothing from the rest of repro", node)
+            elif self.layer == "repro.faults":
+                self._emit(PL209, f"{self.module} imports {target}; "
+                           "repro.faults may import only the kernel and "
+                           "obs (no core/storage/nfs back-edges)", node)
             elif self.layer == "repro.apps":
                 self._emit(PL201, f"{self.module} imports {target}; "
                            "applications may touch only the "

@@ -16,10 +16,14 @@ class Network:
     """One LAN segment with uniform RTT and bandwidth."""
 
     def __init__(self, clock: SimClock, params: NetParams | None = None,
-                 obs=NULL_OBS):
+                 obs=NULL_OBS, faults=None):
         self.clock = clock
         self.params = params or NetParams()
         self.partitioned = False
+        #: Fault injector (repro.faults); None keeps call() bare.
+        self._faults = faults
+        #: Remaining calls that fail inside an injected partition window.
+        self._partition_window = 0
         # Statistics.
         self.calls = 0
         self.bytes_sent = 0
@@ -41,11 +45,50 @@ class Network:
         if self.partitioned:
             self.failed_calls += 1
             raise NetworkPartition("network is partitioned")
+        if self._faults is not None:
+            self._apply_fault(request_bytes, response_bytes)
         self.calls += 1
         self.bytes_sent += request_bytes
         self.bytes_received += response_bytes
         wire = (request_bytes + response_bytes) / self.params.bandwidth
         self.clock.advance(self.params.rtt + wire, "network")
+
+    def _apply_fault(self, request_bytes: int, response_bytes: int) -> None:
+        """Consult the injector for this RPC; may fail the call."""
+        if self._partition_window > 0:
+            self._partition_window -= 1
+            self.failed_calls += 1
+            raise NetworkPartition(
+                "injected partition window "
+                f"({self._partition_window} more calls will fail)")
+        action = self._faults.fire("net.call",
+                                   request_bytes=request_bytes,
+                                   response_bytes=response_bytes)
+        if action is None:
+            return
+        if action.kind == "drop":
+            # This call is lost on the wire; the next one goes through.
+            self.failed_calls += 1
+            raise NetworkPartition(
+                f"injected RPC drop at net.call hit {action.hit}")
+        if action.kind == "delay":
+            # Congestion: extra latency, then the call proceeds.
+            self.clock.advance(action.param, "network")
+        elif action.kind == "duplicate":
+            # At-least-once retransmission: the wire is charged twice.
+            self.calls += 1
+            self.bytes_sent += request_bytes
+            self.bytes_received += response_bytes
+            wire = (request_bytes + response_bytes) / self.params.bandwidth
+            self.clock.advance(self.params.rtt + wire, "network")
+        elif action.kind == "partition":
+            # This call and the next param calls fail, then the wire
+            # heals on its own.
+            self._partition_window = max(0, int(action.param))
+            self.failed_calls += 1
+            raise NetworkPartition(
+                f"injected partition at net.call hit {action.hit} "
+                f"(window {int(action.param)})")
 
     def chunked_calls(self, payload_bytes: int) -> int:
         """How many <= max_block operations a payload needs (>= 1)."""

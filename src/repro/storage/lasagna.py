@@ -37,7 +37,7 @@ class Lasagna:
     """Stackable provenance-aware file system over one volume."""
 
     def __init__(self, volume: Volume, params: Optional[SimParams] = None,
-                 obs=NULL_OBS):
+                 obs=NULL_OBS, faults=None):
         if not volume.pass_capable:
             from repro.core.errors import NotPassVolume
             raise NotPassVolume(
@@ -46,8 +46,11 @@ class Lasagna:
         self.volume = volume
         self.params = params or SimParams()
         self.obs = obs
+        #: Fault injector (repro.faults); None keeps the write path bare.
+        self._faults = faults
         self.log = ProvenanceLog(
             volume.clock, self.params.log, disk_write=self._log_disk_write,
+            faults=faults,
         )
         volume.lasagna = self
         volume.fs_top = self
@@ -141,9 +144,21 @@ class Lasagna:
             raise CrashPoint(
                 f"injected crash before data write to inode {inode.ino}"
             )
+        if self._faults is not None:
+            # The canonical WAP window: provenance durable, data not.
+            self._faults.fire("lasagna.write.pre_data",
+                              pnode=inode.pnode, offset=offset,
+                              nbytes=nbytes)
         self._stack_cost(nbytes)
         self.data_writes += 1
-        return self.volume.write_bytes(inode, offset, data, length)
+        written = self.volume.write_bytes(inode, offset, data, length)
+        if self._faults is not None:
+            # Ground truth for the WAP checker: this write completed,
+            # so its provenance must survive recovery (or be flagged).
+            self._faults.fire("lasagna.write.post_data",
+                              pnode=inode.pnode, offset=offset,
+                              nbytes=nbytes)
+        return written
 
     def read_bytes(self, inode: Inode, offset: int, length: int) -> bytes:
         """Read through the stack (upper-cache copy cost applies)."""

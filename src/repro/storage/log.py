@@ -103,12 +103,15 @@ class ProvenanceLog:
     """Per-volume provenance log with buffering and rotation."""
 
     def __init__(self, clock: SimClock, params: Optional[LogParams] = None,
-                 disk_write: Optional[Callable[[int], None]] = None):
+                 disk_write: Optional[Callable[[int], None]] = None,
+                 faults=None):
         self.clock = clock
         self.params = params or LogParams()
         #: Callable charging the disk for an append of N bytes; bound by
         #: Lasagna to the volume's provenance-log region.
         self._disk_write = disk_write or (lambda nbytes: None)
+        #: Fault injector (repro.faults); None keeps flush() bare.
+        self._faults = faults
         self._buffer: list[tuple[ProvenanceRecord, bytes]] = []
         self._buffer_bytes = 0
         self._next_txn = 1
@@ -166,6 +169,10 @@ class ProvenanceLog:
         """
         if not self._buffer:
             return None
+        faults = self._faults
+        if faults is not None:
+            # Crashing here loses the whole buffer: never durable.
+            faults.fire("log.flush.pre", records=len(self._buffer))
         txn = self.next_txn_id()
         subject = txn_subject or self._buffer[0][0].subject
         frame_open = ProvenanceRecord(subject, Attr.BEGINTXN, txn)
@@ -178,12 +185,29 @@ class ProvenanceLog:
 
         nbytes = sum(len(encoded) for _, encoded in batch)
         self._disk_write(nbytes)
+        if faults is not None:
+            action = faults.fire("log.flush.append", nbytes=nbytes, txn=txn)
+            if action is not None and action.kind == "torn":
+                # The batch reached the disk queue; a mid-sector crash
+                # tears its tail off, cutting into the ENDTXN record so
+                # recovery sees an orphaned transaction.
+                for record, encoded in batch:
+                    self.current.append(record, encoded)
+                tear = max(1, min(nbytes - 1, int(nbytes * action.param)))
+                self.current.truncate_tail(tear)
+                from repro.faults import CrashFault
+                raise faults.halt(CrashFault(
+                    f"torn log append: {tear} of {nbytes} bytes lost "
+                    f"(txn {txn})", site=action.site, hit=action.hit,
+                    torn_bytes=tear))
         for record, encoded in batch:
             self.current.append(record, encoded)
         self.records_logged += len(batch)
         self.bytes_logged += nbytes
         self.flushes += 1
         self._last_activity = self.clock.now
+        if faults is not None:
+            faults.fire("log.flush.post", txn=txn)
         self._maybe_rotate()
         return txn
 
@@ -235,3 +259,14 @@ class ProvenanceLog:
     def all_segments(self) -> list[LogSegment]:
         """Closed segments plus the current one (recovery scans all)."""
         return [*self.closed_segments, self.current]
+
+    def reset_after_recovery(self) -> None:
+        """Consume the log after a recovery replay: every surviving
+        record is now in the database, so the on-disk segments are
+        deleted and a fresh one opened.  This is what makes a second
+        ``recover(consume=True)`` pass a no-op (idempotence)."""
+        self.closed_segments = []
+        self._segment_index += 1
+        self.current = LogSegment(self._segment_index)
+        self._buffer = []
+        self._buffer_bytes = 0

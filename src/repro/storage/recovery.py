@@ -47,12 +47,17 @@ class RecoveryReport:
 
 
 def recover(lasagna: Lasagna,
-            database=None) -> RecoveryReport:
+            database=None, consume: bool = False) -> RecoveryReport:
     """Replay a volume's provenance log after a crash.
 
     Committed records are optionally inserted into ``database`` (pass
     Waldo's database to rebuild it); the report lists orphans and any
     data whose checksum proves it was mid-write.
+
+    With ``consume=True`` the log is reset after the replay (the
+    recovered records now live in the database), which makes recovery
+    idempotent: a second pass reports clean and inserts nothing.  The
+    default leaves the log untouched (report-only inspection).
     """
     report = RecoveryReport()
     volume = lasagna.volume
@@ -71,6 +76,8 @@ def recover(lasagna: Lasagna,
     if database is not None:
         for record in report.committed_records:
             database.insert(record)
+    if consume:
+        lasagna.log.reset_after_recovery()
     return report
 
 

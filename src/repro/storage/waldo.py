@@ -27,11 +27,13 @@ class Waldo:
 
     def __init__(self, log: ProvenanceLog,
                  database: Optional[ProvenanceDatabase] = None,
-                 name: str = "waldo", obs=NULL_OBS):
+                 name: str = "waldo", obs=NULL_OBS, faults=None):
         self.log = log
         self.database = database or ProvenanceDatabase(name)
         self.name = name
         self.obs = obs
+        #: Fault injector (repro.faults); None keeps drain() bare.
+        self._faults = faults
         #: Records discarded because their transaction never committed.
         self.orphaned: list[ProvenanceRecord] = []
         self.segments_processed = 0
@@ -67,8 +69,17 @@ class Waldo:
                            volume=self.name) as span:
             self.log.take_closed()      # clear the log's own list
             while self._pending_segments:
-                segment = self._pending_segments.pop(0)
+                # Peek, process, then pop: a crash at the injection
+                # site leaves the segment queued, so crash() can hand
+                # it back to the log for recovery (no records lost,
+                # none double-inserted -- _process is atomic).
+                segment = self._pending_segments[0]
+                if self._faults is not None:
+                    self._faults.fire("waldo.drain.segment",
+                                      segment=segment.index,
+                                      records=len(segment.records))
                 inserted += self._process(segment)
+                self._pending_segments.pop(0)
                 self.segments_processed += 1
             span.tag("records", inserted)
         self.drains += 1
@@ -106,6 +117,23 @@ class Waldo:
         for batch in open_txns.values():
             self.orphaned.extend(batch)
         return inserted
+
+    # -- crash simulation --------------------------------------------------------------
+
+    def crash(self) -> int:
+        """The daemon died: requeue undrained segments onto the log.
+
+        Segments Waldo took (via ``take_closed``) but had not yet
+        ingested go back to ``log.closed_segments`` so recovery sees
+        them; already-ingested segments are safely in the database.
+        Returns the number of segments handed back.
+        """
+        pending, self._pending_segments = self._pending_segments, []
+        merged = {id(seg): seg for seg in [*pending,
+                                           *self.log.closed_segments]}
+        self.log.closed_segments = sorted(merged.values(),
+                                          key=lambda seg: seg.index)
+        return len(pending)
 
     # -- query service -----------------------------------------------------------------
 

@@ -56,7 +56,8 @@ class System:
              hostname: str = "sim",
              clock=None,
              observability: bool = True,
-             tracing: bool = False) -> "System":
+             tracing: bool = False,
+             faults=None) -> "System":
         """Boot a machine.
 
         Each name in ``pass_volumes`` becomes a PASS-enabled volume
@@ -69,16 +70,25 @@ class System:
         ``observability`` controls per-layer metrics (cheap; on by
         default), ``tracing`` controls span collection (off by
         default).  Both are readable via :meth:`stats` / :meth:`trace`.
+
+        ``faults`` arms a :class:`repro.faults.FaultInjector` at every
+        injection site in the stack (disk, WAP log, Lasagna, Waldo,
+        distributor); None -- the default -- keeps the hot paths bare.
         """
         obs = Observability(metrics_enabled=observability,
                             trace_enabled=tracing)
-        kernel = Kernel(params, hostname=hostname, clock=clock, obs=obs)
+        kernel = Kernel(params, hostname=hostname, clock=clock, obs=obs,
+                        faults=faults)
+        if faults is not None:
+            faults.bind_obs(obs)
         waldos: dict[str, Waldo] = {}
         for name in pass_volumes:
             volume = kernel.add_volume(name, f"/{name}", pass_capable=True)
             if provenance:
-                lasagna = Lasagna(volume, kernel.params, obs=kernel.obs)
-                waldos[name] = Waldo(lasagna.log, name=name, obs=kernel.obs)
+                lasagna = Lasagna(volume, kernel.params, obs=kernel.obs,
+                                  faults=faults)
+                waldos[name] = Waldo(lasagna.log, name=name, obs=kernel.obs,
+                                     faults=faults)
         for name in plain_volumes:
             kernel.add_volume(name, f"/{name}", pass_capable=False)
         if provenance:

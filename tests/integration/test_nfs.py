@@ -10,12 +10,17 @@ from repro.system import System
 from tests.integration.test_pipeline import transitive_ancestors
 
 
-def make_env(provenance=True, clients=1, export="export"):
-    """One server exporting a PASS volume + N client machines."""
+def make_env(provenance=True, clients=1, export="export",
+             server_faults=None, net_faults=None):
+    """One server exporting a PASS volume + N client machines.
+
+    ``server_faults`` arms a FaultInjector on the server machine,
+    ``net_faults`` on every client's network (crashlab harnesses).
+    """
     clock = SimClock()
     server_sys = System.boot(provenance=provenance, hostname="server",
                              clock=clock, pass_volumes=(export,),
-                             plain_volumes=())
+                             plain_volumes=(), faults=server_faults)
     server = NFSServer(server_sys, export)
     out = []
     for index in range(clients):
@@ -24,7 +29,8 @@ def make_env(provenance=True, clients=1, export="export"):
             pass_volumes=(f"local{index}",) if provenance else (),
             plain_volumes=(f"scratch{index}",),
         )
-        network = Network(clock, client_sys.kernel.params.net)
+        network = Network(clock, client_sys.kernel.params.net,
+                          faults=net_faults)
         client = NFSClient(client_sys, server, network,
                            mountpoint="/nfs", name=f"nfs{index}")
         out.append((client_sys, client))

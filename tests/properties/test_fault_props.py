@@ -1,0 +1,89 @@
+"""Property tests for the fault layer: *random* fault plans never break
+the WAP invariant.
+
+The crash-point explorer sweeps every (site, hit) systematically; this
+test attacks from the other side -- hypothesis-generated plans with
+arbitrary rule mixes (crash / torn / io_error, nth- and
+probability-triggered) over the quickstart workload.  Whatever fires,
+the machine is crashed, recovered, and judged with the same verdict
+logic the explorer uses:
+
+* no completed data write is left without committed-or-flagged
+  provenance (WAP),
+* recovery is idempotent (a second pass is a clean no-op),
+* fsck over the recovered database is clean.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.crashlab import WORKLOADS, run_crash_scenario
+from repro.faults import FaultPlan
+
+#: Local (single-machine) sites the quickstart workload can reach, with
+#: the actions that are meaningful at each.
+_SITE_ACTIONS = [
+    ("disk.read", ("io_error",)),
+    ("disk.write", ("crash", "io_error")),
+    ("disk.clustered_write", ("crash", "io_error")),
+    ("log.flush.pre", ("crash", "io_error")),
+    ("log.flush.append", ("crash", "torn", "io_error")),
+    ("log.flush.post", ("crash", "io_error")),
+    ("lasagna.write.pre_data", ("crash", "io_error")),
+    ("lasagna.write.post_data", ("crash", "io_error")),
+    ("waldo.drain.segment", ("crash", "io_error")),
+    ("distributor.flush", ("crash", "io_error")),
+]
+
+
+@st.composite
+def fault_rules(draw):
+    site, actions = draw(st.sampled_from(_SITE_ACTIONS))
+    action = draw(st.sampled_from(actions))
+    kwargs = {"param": draw(st.floats(0.1, 0.9))}
+    if draw(st.booleans()):
+        kwargs["nth"] = draw(st.integers(1, 40))
+    else:
+        kwargs["probability"] = draw(st.floats(0.0, 0.3))
+        kwargs["max_fires"] = draw(st.integers(1, 3))
+    return site, action, kwargs
+
+
+@st.composite
+def fault_plans(draw):
+    plan = FaultPlan(seed=draw(st.integers(0, 2**32 - 1)))
+    for site, action, kwargs in draw(st.lists(fault_rules(),
+                                              min_size=1, max_size=3)):
+        plan.add(site, action, **kwargs)
+    return plan
+
+
+@settings(max_examples=30, deadline=None)
+@given(plan=fault_plans())
+def test_random_plans_never_violate_wap(plan):
+    """Whatever a random plan does to quickstart -- including nothing,
+    when its coordinates are unreachable -- the recovered state
+    satisfies WAP, fsck is clean, and recovery is idempotent."""
+    result = run_crash_scenario(WORKLOADS["quickstart"], plan)
+    assert result.wap_violations == []
+    assert result.idempotent, "second recovery pass was not a no-op"
+    assert result.fsck_report.clean, "\n".join(
+        str(f) for f in result.fsck_report.findings)
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 2**32 - 1), nth=st.integers(1, 30))
+def test_replayed_scenarios_agree(seed, nth):
+    """The same plan replayed twice reaches the same verdict and the
+    same database size: the harness itself is deterministic."""
+    def run():
+        plan = FaultPlan(seed=seed).add("log.flush.append", "torn",
+                                        nth=nth, param=0.5)
+        return run_crash_scenario(WORKLOADS["quickstart"], plan)
+
+    first, second = run(), run()
+    assert first.db_records == second.db_records
+    assert (first.fault is None) == (second.fault is None)
+    assert first.report.torn_bytes == second.report.torn_bytes
+    assert len(first.report.orphaned_records) == len(
+        second.report.orphaned_records)

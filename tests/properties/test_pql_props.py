@@ -4,7 +4,7 @@ import hypothesis.strategies as st
 from hypothesis import given, settings
 
 from repro.core.errors import PQLError, ReproError
-from repro.pql.lexer import tokenize
+from repro.pql.lexer import KEYWORDS, tokenize
 from repro.pql.parser import parse
 
 identifiers = st.from_regex(r"[A-Za-z_][A-Za-z0-9_]{0,10}", fullmatch=True)
@@ -17,10 +17,7 @@ quantifiers = st.sampled_from(["", "*", "+", "?", "{2}", "{1,3}", "{2,}"])
 def queries(draw):
     """Generate structurally valid PQL query strings."""
     var = draw(identifiers.filter(
-        lambda name: name.lower() not in ("select", "from", "where", "as",
-                                          "and", "or", "not", "in",
-                                          "exists", "true", "false",
-                                          "distinct")))
+        lambda name: name.lower() not in KEYWORDS))
     member = draw(member_names)
     edge = draw(edge_names)
     quant = draw(quantifiers)

@@ -12,6 +12,7 @@ from hypothesis.stateful import (
     RuleBasedStateMachine,
     initialize,
     invariant,
+    multiple,
     rule,
 )
 
@@ -127,3 +128,116 @@ SystemMachine.TestCase.settings = __import__("hypothesis").settings(
     max_examples=25, stateful_step_count=20, deadline=None,
 )
 TestSystemMachine = SystemMachine.TestCase
+
+
+class NfsFaultMachine(RuleBasedStateMachine):
+    """Client/server pair under churn: writes interleaved with network
+    partition/heal, client crashes, and server log crash+recover.  The
+    server's provenance store must be fsck-clean at every step the wire
+    allows us to observe it."""
+
+    remote_files = Bundle("remote_files")
+
+    @initialize()
+    def boot(self):
+        # Imported lazily: tests.integration is a sibling package.
+        from tests.integration.test_nfs import make_env
+        self.server_sys, self.server, clients = make_env()
+        self.client_sys, self.client = clients[0]
+        self.partitioned = False
+        self.counter = 0
+
+    # -- rules ----------------------------------------------------------------
+
+    @rule(target=remote_files, name=st.sampled_from(NAMES))
+    def write_remote(self, name):
+        from repro.core.errors import NetworkPartition
+        path = f"/nfs/{name}-{self.counter}"
+        self.counter += 1
+        with self.client_sys.process() as proc:
+            if self.partitioned:
+                try:
+                    fd = proc.open(path, "w")
+                    proc.write(fd, name.encode())
+                except NetworkPartition:
+                    return multiple()
+                raise AssertionError("write crossed a partitioned wire")
+            fd = proc.open(path, "w")
+            proc.write(fd, name.encode() * 8)
+            proc.close(fd)
+        return path
+
+    @rule(path=remote_files)
+    def rewrite_remote(self, path):
+        if self.partitioned:
+            return
+        with self.client_sys.process() as proc:
+            if not proc.exists(path):
+                return
+            fd = proc.open(path, "w")
+            proc.write(fd, b"rewrite")
+            proc.close(fd)
+
+    @rule()
+    def partition(self):
+        self.client.network.partition()
+        self.partitioned = True
+
+    @rule()
+    def heal(self):
+        self.client.network.heal()
+        self.partitioned = False
+
+    @rule()
+    def client_crash(self):
+        """The client dies with whatever it had buffered; the server
+        must never see a half-applied transaction."""
+        self.client.crash()
+
+    @rule()
+    def client_sync(self):
+        from repro.core.errors import NetworkPartition
+        if self.partitioned:
+            try:
+                self.client.sync()
+            except NetworkPartition:
+                return
+            return                      # nothing buffered: no wire call
+        self.client.sync()
+
+    @rule()
+    def server_sync(self):
+        self.server_sys.sync()
+
+    @rule()
+    def server_log_crash_and_recover(self):
+        """Kill the server's Waldo + log volatile state mid-flight and
+        run the standard recovery sequence; service then continues."""
+        from repro.storage.recovery import recover
+        waldo = self.server_sys.waldos["export"]
+        lasagna = self.server_sys.kernel.volume("export").lasagna
+        waldo.crash()
+        lasagna.crash()
+        recover(lasagna, database=waldo.database, consume=True)
+        # Idempotence: an immediate second pass changes nothing.
+        before = len(waldo.database)
+        second = recover(lasagna, database=waldo.database, consume=True)
+        assert second.clean and not second.committed_records
+        assert len(waldo.database) == before
+
+    # -- invariants ------------------------------------------------------------
+
+    @invariant()
+    def server_store_is_clean(self):
+        if getattr(self, "partitioned", True):
+            return                      # cannot flush the client's view
+        self.client.sync()
+        self.server_sys.sync()
+        report = fsck(self.server_sys.databases())
+        assert report.clean, "\n".join(str(f) for f in report.findings)
+
+
+NfsFaultMachine.TestCase.settings = __import__("hypothesis").settings(
+    max_examples=20, stateful_step_count=25, deadline=None,
+)
+TestNfsFaultMachine = NfsFaultMachine.TestCase

@@ -58,6 +58,12 @@ RULE_CASES = [
     ("PL208", "repro.obs.badobs",
      "from repro.core.records import Attr\n",
      "import collections\n"),
+    ("PL209", "repro.faults.badfault",
+     "from repro.storage.log import ProvenanceLog\n",
+     "from repro.kernel.clock import SimClock\n"),
+    ("PL209", "repro.faults.badfault",
+     "from repro.core.errors import NetworkPartition\n",
+     "from repro.obs import NULL_OBS\n"),
 ]
 
 
@@ -99,6 +105,27 @@ class TestBoundaries:
         found = codes("from repro.kernel.clock import SimClock\n",
                       "repro.obs.badobs")
         assert "PL208" in found
+
+    def test_fault_layer_is_widely_importable(self):
+        # Any component that hosts an injection site may take a
+        # FaultInjector; the harness layers above use the plans too.
+        for module in ("repro.kernel.badk", "repro.core.badc",
+                       "repro.storage.bads", "repro.nfs.badn"):
+            assert codes("from repro.faults import FaultInjector\n",
+                         module) == []
+
+    def test_fault_layer_reaches_only_kernel_and_obs(self):
+        # ...and in exchange it sees nothing above the kernel: the
+        # injector must never depend on the components it perturbs.
+        assert "PL209" in codes(
+            "from repro.storage.waldo import Waldo\n",
+            "repro.faults.badfault")
+        assert "PL209" in codes(
+            "from repro.nfs.network import Network\n",
+            "repro.faults.badfault")
+        assert codes("from repro.kernel.clock import SimClock\n"
+                     "from repro.obs import NULL_OBS\n",
+                     "repro.faults.goodfault") == []
 
     def test_relative_import_resolves_against_module(self):
         # "from ..storage import codec" inside repro.apps.x is a
