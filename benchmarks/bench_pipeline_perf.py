@@ -3,9 +3,9 @@
 Engineering guards on the hot path the workloads exercise: syscall ->
 observer -> analyzer -> distributor -> Lasagna, and Waldo's drain.
 
-Machines boot with ``observability=False`` so the guards measure the
-pipeline itself; bench_obs_overhead.py measures what turning the
-metrics on costs.
+Machines boot with the shared ``QUIET_BOOT`` config (metrics off) so
+the guards measure the pipeline itself; bench_obs_overhead.py measures
+what turning the metrics on costs.
 """
 
 from __future__ import annotations
@@ -17,10 +17,12 @@ from repro.core.pnode import ObjectRef
 from repro.core.records import Attr
 from repro.system import System
 
+from benchmarks.conftest import QUIET_BOOT
+
 
 @pytest.mark.benchmark(group="pipeline-perf")
 def test_perf_write_syscall_with_provenance(benchmark):
-    system = System.boot(observability=False)
+    system = System.boot(config=QUIET_BOOT)
     shell = system.kernel.spawn_shell(["bench"])
     counter = [0]
 
@@ -35,7 +37,7 @@ def test_perf_write_syscall_with_provenance(benchmark):
 
 @pytest.mark.benchmark(group="pipeline-perf")
 def test_perf_read_syscall_with_provenance(benchmark):
-    system = System.boot(observability=False)
+    system = System.boot(config=QUIET_BOOT)
     shell = system.kernel.spawn_shell(["bench"])
     fd = shell.open("/pass/target", "w")
     shell.write(fd, b"y" * 4096)
@@ -104,7 +106,7 @@ def test_perf_waldo_drain(benchmark):
 def test_perf_end_to_end_sync(benchmark):
     """Full cycle: 200 files written, logs drained, graph rebuilt."""
     def cycle():
-        system = System.boot(observability=False)
+        system = System.boot(config=QUIET_BOOT)
         with system.process(argv=["writer"]) as proc:
             for index in range(200):
                 fd = proc.open(f"/pass/f{index}", "w")

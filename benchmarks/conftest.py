@@ -11,6 +11,12 @@ from __future__ import annotations
 
 import pytest
 
+from repro.system import BootConfig
+
+#: Boot configuration for timing-sensitive benchmarks: metrics off so
+#: the measurement excludes instrumentation cost.
+QUIET_BOOT = BootConfig(observability=False)
+
 #: Workload scales used by the benchmark suite: full-size where the
 #: simulation is fast, reduced for the CPU-heavy ones (the simulated
 #: *ratios* are scale-stable; see EXPERIMENTS.md).

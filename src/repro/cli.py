@@ -152,7 +152,7 @@ def cmd_query(args: argparse.Namespace) -> int:
     from repro.storage.database import ProvenanceDatabase
 
     database = ProvenanceDatabase.load(args.db)
-    engine = QueryEngine.from_databases([database])
+    engine = QueryEngine.live([database])
     for row in engine.execute(args.query):
         print(_render_row(row))
     return 0

@@ -43,7 +43,7 @@ from typing import Callable, Optional
 
 from repro.core.pnode import ObjectRef
 from repro.core.records import Attr
-from repro.crashlab.workloads import WORKLOADS
+from repro.crashlab.workloads import BOOT, WORKLOADS
 from repro.faults import CRASHABLE, FaultError, FaultInjector, FaultPlan
 from repro.storage.fsck import FsckReport, fsck
 from repro.storage.log import md5_unpack
@@ -94,7 +94,7 @@ def run_crash_scenario(workload: Callable[[System], None],
     tests drive: any plan, any workload, same verdict logic.
     """
     injector = FaultInjector(plan, record_trace=True)
-    system = System.boot(faults=injector)
+    system = System.boot(config=BOOT, faults=injector)
     fault: Optional[FaultError] = None
     try:
         workload(system)
@@ -257,7 +257,7 @@ class ExplorerReport:
 def discover(workload: Callable[[System], None]) -> FaultInjector:
     """Trace run: which sites does this workload reach, how often?"""
     injector = FaultInjector(record_trace=True)
-    system = System.boot(faults=injector)
+    system = System.boot(config=BOOT, faults=injector)
     workload(system)
     return injector
 

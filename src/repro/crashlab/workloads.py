@@ -13,7 +13,12 @@ not Table-2 benchmark recreations.
 
 from __future__ import annotations
 
-from repro.system import System
+from repro.system import BootConfig, System
+
+#: The boot configuration every exploration run shares: defaults, so a
+#: crash point's coordinates stay comparable across workloads.  The
+#: explorer layers ``faults=`` on top per replay.
+BOOT = BootConfig()
 
 
 def quickstart(system: System) -> None:

@@ -77,6 +77,14 @@ PL209 = rule(
     "core/storage/nfs back-edge would make every injection site a "
     "hidden upward dependency (the crashlab harness that drives whole "
     "systems lives in repro.crashlab, above the layers).")
+PL210 = rule(
+    "PL210", ERROR, "query layer pulls from storage",
+    "repro.pql must not import repro.storage: the OEM graph *receives* "
+    "records -- batch-built from a stream and kept live through "
+    "ProvenanceDatabase.subscribe's push feed -- it never reaches into "
+    "the database to pull them.  Waldo serves the engine (section 5.1), "
+    "not the other way round; a storage import here inverts that "
+    "ownership and couples query evaluation to the store's layout.")
 
 #: Layer allow-lists: module-prefix of the *importing* layer -> import
 #: prefixes it may use.  The longest matching importer prefix wins.
@@ -255,7 +263,12 @@ class _ModuleChecker(pyast.NodeVisitor):
         if self.layer is None:
             return
         if not _within(target, _ALLOWED[self.layer]):
-            if self.layer == "repro.obs":
+            if (self.layer == "repro.pql"
+                    and _within(target, ("repro.storage",))):
+                self._emit(PL210, f"{self.module} imports {target}; the "
+                           "query layer receives records (push feed), it "
+                           "does not pull them from storage", node)
+            elif self.layer == "repro.obs":
                 self._emit(PL208, f"{self.module} imports {target}; "
                            "repro.obs is a leaf layer and may import "
                            "nothing from the rest of repro", node)

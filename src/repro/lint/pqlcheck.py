@@ -159,12 +159,23 @@ class Vocabulary:
         """Widen with labels actually present in an OEM graph, so the
         engine pre-pass never rejects a query the evaluator could
         satisfy (applications may record attributes beyond the core
-        vocabulary)."""
-        edges = set(self.edges)
-        atoms = set(self.atoms)
-        for node in graph.nodes():
-            edges.update(node.edges)
-            atoms.update(node.atoms)
+        vocabulary).
+
+        Graphs maintaining label indexes (``atom_labels`` /
+        ``edge_labels``, as :class:`repro.pql.oem.OEMGraph` does) are
+        read in O(labels); anything else falls back to a full node scan.
+        """
+        atom_labels = getattr(graph, "atom_labels", None)
+        edge_labels = getattr(graph, "edge_labels", None)
+        if callable(atom_labels) and callable(edge_labels):
+            edges = set(self.edges) | edge_labels()
+            atoms = set(self.atoms) | atom_labels()
+        else:
+            edges = set(self.edges)
+            atoms = set(self.atoms)
+            for node in graph.nodes():
+                edges.update(node.edges)
+                atoms.update(node.atoms)
         members = set(self.members) | set(graph.member_names())
         return Vocabulary(frozenset(edges), frozenset(atoms),
                           frozenset(members))

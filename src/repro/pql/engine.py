@@ -3,6 +3,39 @@
 This is the component Waldo serves in the paper: it owns the graph built
 from one or more volumes' provenance databases (cross-volume queries are
 just a merged record stream) and runs PQL text against it.
+
+Engine lifecycle
+----------------
+
+:meth:`QueryEngine.live` is the one construction path: it batch-builds
+the graph from the sources' current records, then *subscribes* to each
+source so every record the source ingests afterwards is spliced into the
+graph via :meth:`OEMGraph.apply` -- the engine stays current without
+ever being rebuilt.  ``System.query_engine()``, ``Waldo.query_engine()``
+and the CLI all hand out the same live engine instead of constructing
+their own; a sync is an O(new records) update, not an O(total history)
+rebuild.
+
+Sources are duck-typed: anything with ``all_records()`` works, and
+anything that also has ``subscribe(listener)`` (the push feed
+``ProvenanceDatabase`` exposes) keeps the engine live.  The graph
+receives records; it never pulls them from storage (lint rule PL210).
+
+:meth:`from_records` and :meth:`from_databases` remain as thin
+compatibility wrappers -- ``from_records`` yields a static snapshot
+engine over a plain stream, ``from_databases`` delegates to
+:meth:`live`.
+
+Plan cache
+----------
+
+Compiled queries are cached by *normalized* PQL text (whitespace runs
+collapsed), so reformatting a query does not recompile it.  Each cached
+plan also remembers the graph vocabulary epoch at which it last passed
+the lint pre-pass: repeat executions skip the check entirely until the
+graph's vocabulary grows (a new atom/edge label or Provenance member),
+at which point the plan is re-checked once against the widened
+vocabulary.
 """
 
 from __future__ import annotations
@@ -17,6 +50,25 @@ from repro.pql.ast import Query
 from repro.pql.evaluator import Evaluator
 from repro.pql.oem import OEMGraph, OEMNode
 from repro.pql.parser import parse
+
+#: "Plan has never passed the check" sentinel -- distinct from None
+#: because foreign graphs without a vocab_epoch report epoch None.
+_NEVER = object()
+
+
+class CompiledPlan:
+    """One cached compiled query: normalized text, parsed AST, and the
+    vocabulary epoch at which it last passed the lint pre-pass."""
+
+    __slots__ = ("text", "query", "checked_epoch")
+
+    def __init__(self, text: str, query: Query):
+        self.text = text
+        self.query = query
+        self.checked_epoch = _NEVER
+
+    def __repr__(self) -> str:
+        return f"<CompiledPlan {self.text!r}>"
 
 
 class QueryEngine:
@@ -33,38 +85,91 @@ class QueryEngine:
         self.graph = graph
         self.obs = obs
         self._evaluator = Evaluator(graph)
-        self._cache: dict[str, Query] = {}
+        self._plans: dict[str, CompiledPlan] = {}
         self._check = check
         self._vocabulary = None
+        self._vocab_epoch = _NEVER
+
+    # -- construction -----------------------------------------------------------
+
+    @classmethod
+    def live(cls, sources, obs=NULL_OBS, check: bool = True) -> "QueryEngine":
+        """The one real construction path: a live engine over sources.
+
+        Batch-builds the graph from each source's ``all_records()``,
+        then subscribes to every source that supports it so later
+        inserts flow straight into the graph.  Callers own exactly one
+        live engine per source set and reuse it across syncs.
+        """
+        streams = [source.all_records() for source in sources]
+        with obs.span("oem.build", layer="pql") as span:
+            graph = OEMGraph.build(itertools.chain(*streams))
+            span.tag("nodes", len(graph))
+        engine = cls(graph, check=check, obs=obs)
+        for source in sources:
+            subscribe = getattr(source, "subscribe", None)
+            if subscribe is not None:
+                subscribe(engine._apply)
+        return engine
 
     @classmethod
     def from_records(cls, records: Iterable[ProvenanceRecord],
                      obs=NULL_OBS) -> "QueryEngine":
-        """Build an engine from a raw record stream."""
+        """Compatibility wrapper: a static snapshot engine over a raw
+        record stream (no source to stay live against)."""
         return cls(OEMGraph.build(records), obs=obs)
 
     @classmethod
     def from_databases(cls, databases, obs=NULL_OBS) -> "QueryEngine":
-        """Build an engine over several volumes' databases at once."""
-        streams = [db.all_records() for db in databases]
-        return cls(OEMGraph.build(itertools.chain(*streams)), obs=obs)
+        """Compatibility wrapper: delegates to :meth:`live`, so the
+        returned engine tracks the databases as they grow."""
+        return cls.live(databases, obs=obs)
+
+    # -- live maintenance ----------------------------------------------------------
+
+    def _apply(self, record: ProvenanceRecord) -> None:
+        """Subscription callback: splice one record into the graph."""
+        self.graph.apply(record)
+        self.obs.inc("pql", "oem_records_applied")
+
+    def apply_records(self, records: Iterable[ProvenanceRecord]) -> int:
+        """Feed a batch of records into the live graph directly (for
+        callers holding a stream rather than a subscribable source)."""
+        with self.obs.span("oem.apply", layer="pql") as span:
+            count = self.graph.apply_many(records)
+            span.tag("records", count)
+        self.obs.inc("pql", "oem_records_applied", count)
+        return count
+
+    # -- compilation ------------------------------------------------------------
+
+    def plan(self, text: str) -> CompiledPlan:
+        """Compile (and cache) one query, keyed by normalized text."""
+        key = " ".join(text.split())
+        cached = self._plans.get(key)
+        if cached is None:
+            with self.obs.span("pql.parse", layer="pql"):
+                cached = CompiledPlan(key, parse(text))
+            self._plans[key] = cached
+            self.obs.inc("pql", "parses")
+            self.obs.inc("pql", "plan_compiles")
+        else:
+            self.obs.inc("pql", "parse_cache_hits")
+        return cached
 
     def parse(self, text: str) -> Query:
         """Parse (and cache) one query string."""
-        if text not in self._cache:
-            with self.obs.span("pql.parse", layer="pql"):
-                self._cache[text] = parse(text)
-            self.obs.inc("pql", "parses")
-        else:
-            self.obs.inc("pql", "parse_cache_hits")
-        return self._cache[text]
+        return self.plan(text).query
 
     def vocabulary(self):
         """The lint vocabulary for this graph: the static ``Attr``
-        universe widened by every label the graph actually holds."""
-        if self._vocabulary is None:
+        universe widened by every label the graph actually holds.
+        Recomputed when the graph's vocabulary epoch moves."""
+        epoch = getattr(self.graph, "vocab_epoch", None)
+        if self._vocabulary is None or epoch != self._vocab_epoch:
             from repro.lint.pqlcheck import Vocabulary
             self._vocabulary = Vocabulary.default().for_graph(self.graph)
+            self._vocab_epoch = epoch
         return self._vocabulary
 
     def lint(self, text: str) -> list:
@@ -72,18 +177,25 @@ class QueryEngine:
         from repro.lint.pqlcheck import check_query_text
         return check_query_text(text, self.vocabulary())
 
+    # -- execution -----------------------------------------------------------
+
     def execute(self, text: str, check: bool | None = None) -> list:
         """Run a PQL query; returns rows (see Evaluator.execute)."""
         started = time.perf_counter()
         with self.obs.span("pql.execute", layer="pql") as span:
-            query = self.parse(text)
+            plan = self.plan(text)
             if self._check if check is None else check:
-                with self.obs.span("pql.check", layer="pql"):
-                    from repro.lint.pqlcheck import (check_query,
-                                                     raise_on_errors)
-                    raise_on_errors(check_query(query, self.vocabulary()))
+                vocabulary = self.vocabulary()      # refreshes epoch
+                if plan.checked_epoch != self._vocab_epoch:
+                    with self.obs.span("pql.check", layer="pql"):
+                        from repro.lint.pqlcheck import (check_query,
+                                                         raise_on_errors)
+                        raise_on_errors(check_query(plan.query, vocabulary))
+                    plan.checked_epoch = self._vocab_epoch
+                else:
+                    self.obs.inc("pql", "check_cache_hits")
             with self.obs.span("pql.eval", layer="pql"):
-                rows = self._evaluator.execute(query)
+                rows = self._evaluator.execute(plan.query)
             span.tag("rows", len(rows))
         self.obs.inc("pql", "queries_executed")
         self.obs.inc("pql", "rows_returned", len(rows))

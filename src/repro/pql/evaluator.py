@@ -160,7 +160,8 @@ class Evaluator:
         if member == "node":
             return self.graph.named(literal)
         return [node for node in self.graph.named(literal)
-                if node.type and node.type.lower() == member]
+                if isinstance(node.type, str)
+                and node.type.lower() == member]
 
     def _path_nodes(self, path: ast.Path, env: Env) -> list[OEMNode]:
         """Nodes reachable over a FROM path."""

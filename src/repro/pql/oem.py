@@ -16,6 +16,18 @@ objects" (section 5.7).  Here:
 * the reserved root ``Provenance`` exposes one member per object TYPE
   (``Provenance.file``, ``Provenance.process``, ...) plus ``node`` for
   everything.
+
+The graph is *maintainable*: :meth:`OEMGraph.build` constructs it from a
+record stream in one batch pass, and :meth:`OEMGraph.apply` splices a
+single record into an existing graph -- new nodes, edge wiring,
+identity-atom sharing, member classification, and the name index are all
+updated in O(delta).  A live query engine applies records as Waldo
+drains them instead of rebuilding the world per sync; the two paths are
+property-tested equivalent (``tests/properties/test_oem_incremental_props``).
+
+Vocabulary growth (a never-before-seen atom label, edge label, or
+member) bumps :attr:`OEMGraph.vocab_epoch`, which the query engine uses
+to invalidate cached lint vocabularies and compiled-plan check results.
 """
 
 from __future__ import annotations
@@ -85,30 +97,92 @@ class OEMGraph:
         self._members: dict[str, list[OEMNode]] = defaultdict(list)
         self._by_pnode: dict[int, list[OEMNode]] = defaultdict(list)
         self._by_name: dict[str, list[OEMNode]] = defaultdict(list)
+        #: Identity atoms seen per pnode, arrival-ordered (label, value):
+        #: replayed onto versions created after the atom arrived.
+        self._identity: dict[int, list[tuple[str, object]]] = defaultdict(list)
+        #: Every atom / edge label the graph holds (lint vocabulary).
+        self._atom_labels: set[str] = set()
+        self._edge_labels: set[str] = set()
+        #: Bumped whenever the label/member vocabulary grows; cached
+        #: vocabularies and plan checks key off it.
+        self.vocab_epoch = 0
+        self.records_applied = 0
 
     # -- construction --------------------------------------------------------------
 
     @classmethod
     def build(cls, records: Iterable[ProvenanceRecord]) -> "OEMGraph":
-        """Build a graph from a stream of records."""
+        """Build a graph from a stream of records in one batch pass.
+
+        Identity-atom sharing and member classification are deferred to
+        the end of the stream (cheaper than doing them per record); the
+        finished graph is indistinguishable from one grown a record at
+        a time with :meth:`apply`, and can keep growing incrementally
+        afterwards.
+        """
         graph = cls()
-        identity: dict[int, list[tuple[str, object]]] = defaultdict(list)
         for record in records:
             if record.attr in _FRAMING:
                 continue
             node = graph._node(record.subject)
             label = record.attr.lower()
+            graph.records_applied += 1
             if isinstance(record.value, ObjectRef):
                 target = graph._node(record.value)
                 node.edges[label].append(target)
                 target.redges[label].append(node)
+                graph._edge_labels.add(label)
             elif record.attr in IDENTITY_ATTRS:
-                identity[record.subject.pnode].append((label, record.value))
+                graph._identity[record.subject.pnode].append(
+                    (label, record.value))
+                graph._atom_labels.add(label)
             else:
                 node.atoms[label].append(record.value)
-        graph._apply_identity(identity)
+                graph._atom_labels.add(label)
+        graph._apply_identity(graph._identity)
         graph._classify()
+        graph.vocab_epoch += 1
         return graph
+
+    def apply(self, record: ProvenanceRecord) -> None:
+        """Splice one record into the graph (the incremental delta path).
+
+        Applying a record stream through here yields a graph equivalent
+        to :meth:`build` on the same stream: nodes, atoms, edges, member
+        classification, identity sharing, and the name index are all
+        maintained eagerly.  Used by live query engines as Waldo drains
+        records into the database.
+        """
+        if record.attr in _FRAMING:
+            return
+        node = self._live_node(record.subject)
+        label = record.attr.lower()
+        self.records_applied += 1
+        if isinstance(record.value, ObjectRef):
+            target = self._live_node(record.value)
+            node.edges[label].append(target)
+            target.redges[label].append(node)
+            if label not in self._edge_labels:
+                self._edge_labels.add(label)
+                self.vocab_epoch += 1
+        elif record.attr in IDENTITY_ATTRS:
+            # Shared by every version, present and future.
+            self._identity[record.subject.pnode].append(
+                (label, record.value))
+            self._note_atom_label(label)
+            for version in self._by_pnode[record.subject.pnode]:
+                self._add_identity_atom(version, label, record.value)
+        else:
+            node.atoms[label].append(record.value)
+            self._note_atom_label(label)
+
+    def apply_many(self, records: Iterable[ProvenanceRecord]) -> int:
+        """Apply a batch of records; returns how many were applied."""
+        count = 0
+        for record in records:
+            self.apply(record)
+            count += 1
+        return count
 
     def _node(self, ref: ObjectRef) -> OEMNode:
         node = self._nodes.get(ref)
@@ -117,6 +191,40 @@ class OEMGraph:
             self._nodes[ref] = node
             self._by_pnode[ref.pnode].append(node)
         return node
+
+    def _live_node(self, ref: ObjectRef) -> OEMNode:
+        """Get-or-create with eager classification (the apply path):
+        a new node joins ``Provenance.node`` immediately and inherits
+        every identity atom already seen for its pnode."""
+        node = self._nodes.get(ref)
+        if node is not None:
+            return node
+        node = self._node(ref)
+        self._members["node"].append(node)
+        for label, value in self._identity.get(ref.pnode, ()):
+            self._add_identity_atom(node, label, value)
+        return node
+
+    def _add_identity_atom(self, node: OEMNode, label: str, value) -> None:
+        """Share one identity atom onto one version node, maintaining
+        the member classification and name index it feeds."""
+        values = node.atoms[label]
+        if value in values:
+            return
+        values.append(value)
+        if label == "type" and len(values) == 1 \
+                and isinstance(value, str) and value:
+            member = value.lower()
+            if member not in self._members:
+                self.vocab_epoch += 1
+            self._members[member].append(node)
+        elif label == "name" and isinstance(value, str):
+            self._by_name[value].append(node)
+
+    def _note_atom_label(self, label: str) -> None:
+        if label not in self._atom_labels:
+            self._atom_labels.add(label)
+            self.vocab_epoch += 1
 
     def _apply_identity(self, identity) -> None:
         """Share identity atoms across every version of each object."""
@@ -134,7 +242,7 @@ class OEMGraph:
         for node in self._nodes.values():
             self._members["node"].append(node)
             node_type = node.type
-            if node_type:
+            if isinstance(node_type, str) and node_type:
                 self._members[node_type.lower()].append(node)
             for name in node.atom("name"):
                 if isinstance(name, str):
@@ -149,6 +257,14 @@ class OEMGraph:
     def member_names(self) -> list[str]:
         """Available root member names."""
         return sorted(self._members)
+
+    def atom_labels(self) -> frozenset:
+        """Every atom label present in the graph (lint vocabulary)."""
+        return frozenset(self._atom_labels)
+
+    def edge_labels(self) -> frozenset:
+        """Every edge label present in the graph (lint vocabulary)."""
+        return frozenset(self._edge_labels)
 
     def node(self, ref: ObjectRef) -> Optional[OEMNode]:
         """Node for one (pnode, version), if present."""

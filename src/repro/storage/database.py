@@ -45,6 +45,7 @@ class ProvenanceDatabase:
         self.record_count = 0
         self.main_bytes = 0
         self.index_bytes = 0
+        self._listeners: list = []
 
     # -- writes ------------------------------------------------------------------
 
@@ -66,6 +67,19 @@ class ProvenanceDatabase:
         if isinstance(record.value, ObjectRef):
             self._by_xref[record.value].append((subject, record.attr))
             self.index_bytes += XREF_INDEX_ENTRY_BYTES
+        for listener in self._listeners:
+            listener(record)
+
+    def subscribe(self, listener) -> None:
+        """Register a callable invoked with every inserted record.
+
+        This is the push feed live query engines ride: the graph
+        *receives* records as Waldo ingests them, it never reaches back
+        into storage to pull (lint rule PL210).  Recovery replay goes
+        through :meth:`insert` too, so subscribers stay correct across
+        crash/recover cycles.
+        """
+        self._listeners.append(listener)
 
     def insert_many(self, records: Iterable[ProvenanceRecord]) -> int:
         """Insert a batch; returns how many records were added."""

@@ -41,6 +41,7 @@ class Waldo:
         self.drains = 0
         log.on_segment_closed = self._segment_closed
         self._pending_segments: list[LogSegment] = []
+        self._engine = None
         obs.add_collector("waldo", self._obs_counters, volume=name)
 
     def _obs_counters(self) -> dict:
@@ -138,11 +139,19 @@ class Waldo:
     # -- query service -----------------------------------------------------------------
 
     def query_engine(self):
-        """A PQL engine over this Waldo's database: 'Waldo is also
-        responsible for accessing the database on behalf of the query
-        engine' (section 5.1)."""
-        from repro.pql.engine import QueryEngine
-        return QueryEngine.from_databases([self.database])
+        """The single live PQL engine over this Waldo's database:
+        'Waldo is also responsible for accessing the database on behalf
+        of the query engine' (section 5.1).
+
+        Built once, then kept current by the database's push feed --
+        every record a drain (or recovery replay) inserts is spliced
+        into the engine's OEM graph, so repeated calls return the same
+        object and never re-scan the database.
+        """
+        if self._engine is None:
+            from repro.pql.engine import QueryEngine
+            self._engine = QueryEngine.live([self.database], obs=self.obs)
+        return self._engine
 
     def query(self, text: str) -> list:
         """Run one PQL query against this volume's provenance."""

@@ -20,6 +20,7 @@ benchmarks compare against.
 from __future__ import annotations
 
 import contextlib
+import dataclasses
 from typing import Iterable, Optional
 
 from repro.core.pnode import ObjectRef
@@ -30,6 +31,38 @@ from repro.obs import Observability
 from repro.storage.database import ProvenanceDatabase
 from repro.storage.lasagna import Lasagna
 from repro.storage.waldo import Waldo
+
+#: "Caller did not pass this kwarg" sentinel, so explicit None (e.g.
+#: faults=None) still overrides a config that set something else.
+_UNSET = object()
+
+
+@dataclasses.dataclass(frozen=True)
+class BootConfig:
+    """Everything :meth:`System.boot` needs, as one value.
+
+    Boot call sites (benchmarks, crashlab, workloads) share configs by
+    defining them once and passing ``System.boot(config=...)``; the old
+    individual kwargs still work and override config fields, so
+    ``System.boot(config=QUIET, tracing=True)`` is the quiet config with
+    tracing flipped on.
+    """
+
+    params: Optional[SimParams] = None
+    pass_volumes: Iterable[str] = ("pass",)
+    plain_volumes: Iterable[str] = ("scratch",)
+    provenance: bool = True
+    hostname: str = "sim"
+    clock: object = None
+    observability: bool = True
+    tracing: bool = False
+    faults: object = None
+
+    def with_overrides(self, **overrides) -> "BootConfig":
+        """A copy with every non-``_UNSET`` override applied."""
+        changes = {key: value for key, value in overrides.items()
+                   if value is not _UNSET}
+        return dataclasses.replace(self, **changes) if changes else self
 
 
 class System:
@@ -49,16 +82,22 @@ class System:
     # -- construction ----------------------------------------------------------------
 
     @classmethod
-    def boot(cls, params: Optional[SimParams] = None,
-             pass_volumes: Iterable[str] = ("pass",),
-             plain_volumes: Iterable[str] = ("scratch",),
-             provenance: bool = True,
-             hostname: str = "sim",
-             clock=None,
-             observability: bool = True,
-             tracing: bool = False,
-             faults=None) -> "System":
-        """Boot a machine.
+    def boot(cls, params=_UNSET,
+             pass_volumes=_UNSET,
+             plain_volumes=_UNSET,
+             provenance=_UNSET,
+             hostname=_UNSET,
+             clock=_UNSET,
+             observability=_UNSET,
+             tracing=_UNSET,
+             faults=_UNSET,
+             config: Optional[BootConfig] = None) -> "System":
+        """Boot a machine from a :class:`BootConfig`.
+
+        ``config`` supplies every knob at once (defaults to
+        ``BootConfig()``); any individual kwarg passed explicitly
+        overrides the config's field, so both the legacy kwarg style and
+        ``System.boot(config=shared, tracing=True)`` work.
 
         Each name in ``pass_volumes`` becomes a PASS-enabled volume
         mounted at ``/<name>`` with its own Lasagna and Waldo; names in
@@ -75,26 +114,31 @@ class System:
         injection site in the stack (disk, WAP log, Lasagna, Waldo,
         distributor); None -- the default -- keeps the hot paths bare.
         """
-        obs = Observability(metrics_enabled=observability,
-                            trace_enabled=tracing)
-        kernel = Kernel(params, hostname=hostname, clock=clock, obs=obs,
-                        faults=faults)
-        if faults is not None:
-            faults.bind_obs(obs)
+        cfg = (config or BootConfig()).with_overrides(
+            params=params, pass_volumes=pass_volumes,
+            plain_volumes=plain_volumes, provenance=provenance,
+            hostname=hostname, clock=clock, observability=observability,
+            tracing=tracing, faults=faults)
+        obs = Observability(metrics_enabled=cfg.observability,
+                            trace_enabled=cfg.tracing)
+        kernel = Kernel(cfg.params, hostname=cfg.hostname, clock=cfg.clock,
+                        obs=obs, faults=cfg.faults)
+        if cfg.faults is not None:
+            cfg.faults.bind_obs(obs)
         waldos: dict[str, Waldo] = {}
-        for name in pass_volumes:
+        for name in cfg.pass_volumes:
             volume = kernel.add_volume(name, f"/{name}", pass_capable=True)
-            if provenance:
+            if cfg.provenance:
                 lasagna = Lasagna(volume, kernel.params, obs=kernel.obs,
-                                  faults=faults)
+                                  faults=cfg.faults)
                 waldos[name] = Waldo(lasagna.log, name=name, obs=kernel.obs,
-                                     faults=faults)
-        for name in plain_volumes:
+                                     faults=cfg.faults)
+        for name in cfg.plain_volumes:
             kernel.add_volume(name, f"/{name}", pass_capable=False)
-        if provenance:
+        if cfg.provenance:
             kernel.enable_provenance()
             kernel.cache.shrink(kernel.params.cache.stack_cache_factor)
-        return cls(kernel, waldos, provenance)
+        return cls(kernel, waldos, cfg.provenance)
 
     # -- running programs ---------------------------------------------------------------
 
@@ -122,7 +166,12 @@ class System:
     # -- provenance plumbing -----------------------------------------------------------------
 
     def sync(self) -> int:
-        """Flush all logs and drain all Waldos; returns records inserted."""
+        """Flush all logs and drain all Waldos; returns records inserted.
+
+        The live query engine (if one has been handed out) absorbs the
+        drained records through the databases' push feed, so a sync is
+        an O(new records) update -- the engine is never invalidated.
+        """
         inserted = 0
         with self.obs.span("system.sync", layer="system"):
             for volume in self.kernel.pass_volumes():
@@ -130,7 +179,6 @@ class System:
                     volume.lasagna.sync()
             for waldo in self.waldos.values():
                 inserted += waldo.drain()
-        self._query_engine = None       # graph must be rebuilt
         return inserted
 
     def databases(self) -> list[ProvenanceDatabase]:
@@ -157,14 +205,17 @@ class System:
         return self.query_engine().execute(text)
 
     def query_engine(self):
-        """The (lazily built, cached) PQL engine over current data.
+        """The single live PQL engine over all volumes' provenance.
 
-        Call :meth:`sync` first so recent provenance reaches the
-        databases; sync invalidates the cached engine.
+        Built once (lazily), then kept current by the databases' push
+        feed: records drained by later :meth:`sync` calls are spliced
+        into the engine's graph incrementally, so the same engine object
+        is returned forever.  Call :meth:`sync` first so recent
+        provenance reaches the databases.
         """
         if self._query_engine is None:
             from repro.pql.engine import QueryEngine
-            self._query_engine = QueryEngine.from_databases(
+            self._query_engine = QueryEngine.live(
                 self.databases(), obs=self.obs)
         return self._query_engine
 

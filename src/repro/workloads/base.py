@@ -19,7 +19,7 @@ from typing import Optional
 
 from repro.kernel.clock import SimClock, Stopwatch
 from repro.kernel.params import SimParams
-from repro.system import System
+from repro.system import BootConfig, System
 
 
 @dataclass
@@ -80,8 +80,9 @@ class Workload(abc.ABC):
 def run_local(workload: Workload, provenance: bool,
               params: Optional[SimParams] = None) -> WorkloadResult:
     """One machine: PASSv2 (provenance=True) or vanilla ext3."""
-    system = System.boot(params=params, provenance=provenance,
-                         pass_volumes=("pass",), plain_volumes=())
+    system = System.boot(config=BootConfig(
+        params=params, provenance=provenance,
+        pass_volumes=("pass",), plain_volumes=()))
     clock = system.kernel.clock
     volume = system.kernel.volume("pass")
     workload.setup(system, "/pass")
@@ -112,12 +113,11 @@ def run_nfs(workload: Workload, provenance: bool,
     from repro.nfs import NFSClient, NFSServer, Network
 
     clock = SimClock()
-    server_sys = System.boot(params=params, provenance=provenance,
-                             hostname="server", clock=clock,
+    shared = BootConfig(params=params, provenance=provenance, clock=clock)
+    server_sys = System.boot(config=shared, hostname="server",
                              pass_volumes=("export",), plain_volumes=())
     server = NFSServer(server_sys, "export")
-    client_sys = System.boot(params=params, provenance=provenance,
-                             hostname="client", clock=clock,
+    client_sys = System.boot(config=shared, hostname="client",
                              pass_volumes=("local",) if provenance else (),
                              plain_volumes=("scratch",))
     network = Network(clock, client_sys.kernel.params.net,

@@ -52,3 +52,31 @@ def read_file(system: System, path: str) -> bytes:
         data = proc.read(fd)
         proc.close(fd)
     return data
+
+
+def graph_fingerprint(graph) -> dict:
+    """Everything a PQL query can observe of one OEM graph, in a form
+    comparable across construction paths (incremental vs batch).
+
+    Atom lists and edge lists compare exactly -- both paths append in
+    arrival order with identical dedup.  Member and name-index lists
+    compare as sorted ref lists, because ``build()`` classifies in node
+    insertion order while ``apply()`` classifies at arrival time.
+    """
+    nodes = {}
+    for node in graph.nodes():
+        nodes[node.ref] = {
+            "atoms": {label: list(values)
+                      for label, values in node.atoms.items() if values},
+            "edges": {label: [t.ref for t in targets]
+                      for label, targets in node.edges.items() if targets},
+            "redges": {label: [s.ref for s in sources]
+                       for label, sources in node.redges.items() if sources},
+        }
+    return {
+        "nodes": nodes,
+        "members": {name: sorted(n.ref for n in graph.members(name))
+                    for name in graph.member_names()},
+        "atom_labels": graph.atom_labels(),
+        "edge_labels": graph.edge_labels(),
+    }

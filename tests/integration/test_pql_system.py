@@ -50,14 +50,20 @@ class TestLiveQueries:
         reached = node_names(rows)
         assert {"/pass/spawn-a", "/pass/spawn-b"} <= reached
 
-    def test_query_engine_cached_until_sync(self, system):
+    def test_query_engine_live_across_sync(self, system):
+        """Sync no longer invalidates: the same engine object persists
+        and new provenance flows into its graph incrementally."""
         write_file(system, "/pass/one", b"1")
         system.sync()
-        engine_before = system.query_engine()
-        assert system.query_engine() is engine_before
+        engine = system.query_engine()
+        assert system.query_engine() is engine
+        assert engine.execute_refs(
+            'select F from Provenance.file as F where F.name = "/pass/one"')
         write_file(system, "/pass/two", b"2")
         system.sync()
-        assert system.query_engine() is not engine_before
+        assert system.query_engine() is engine
+        assert engine.execute_refs(
+            'select F from Provenance.file as F where F.name = "/pass/two"')
 
     def test_count_processes(self, system):
         write_file(system, "/pass/x", b"x")

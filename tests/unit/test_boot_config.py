@@ -1,0 +1,48 @@
+"""BootConfig: one value for System.boot, with kwargs as overrides."""
+
+import pytest
+
+from repro.system import BootConfig, System
+
+
+class TestBootConfig:
+    def test_defaults_match_legacy_boot(self):
+        config = BootConfig()
+        assert config.pass_volumes == ("pass",)
+        assert config.plain_volumes == ("scratch",)
+        assert config.provenance is True
+        assert config.observability is True
+        assert config.tracing is False
+        assert config.faults is None
+
+    def test_with_overrides_replaces_only_given_fields(self):
+        quiet = BootConfig(observability=False)
+        traced = quiet.with_overrides(tracing=True)
+        assert traced.tracing is True
+        assert traced.observability is False
+        assert quiet.tracing is False           # original untouched
+
+    def test_boot_from_config(self):
+        system = System.boot(config=BootConfig(
+            pass_volumes=("vol",), plain_volumes=(), hostname="boxy"))
+        assert list(system.waldos) == ["vol"]
+        assert system.kernel.hostname == "boxy"
+
+    def test_kwargs_override_config(self):
+        quiet = BootConfig(observability=False)
+        system = System.boot(config=quiet, tracing=True)
+        # tracing flipped on, observability kept from the config
+        assert system.obs.tracer.enabled
+        assert not system.obs.metrics.enabled
+
+    def test_explicit_none_overrides_config(self):
+        class Marker:
+            def bind_obs(self, obs):
+                pass
+        config = BootConfig(faults=Marker())
+        system = System.boot(config=config, faults=None, provenance=False)
+        assert system.kernel.faults is None
+
+    def test_legacy_kwarg_style_still_boots(self):
+        system = System.boot(provenance=False, plain_volumes=("p",))
+        assert not system.provenance

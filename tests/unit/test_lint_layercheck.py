@@ -31,7 +31,7 @@ RULE_CASES = [
      "from repro.kernel.disk import SimulatedDisk\n",
      "from repro.kernel.vfs import Inode\n"),
     ("PL203", "repro.pql.badpql",
-     "from repro.storage.waldo import Waldo\n",
+     "from repro.nfs.server import NFSServer\n",
      "from repro.core.records import Attr\n"),
     ("PL203", "repro.kernel.badkernel",
      "from repro.nfs.server import NFSServer\n",
@@ -64,6 +64,12 @@ RULE_CASES = [
     ("PL209", "repro.faults.badfault",
      "from repro.core.errors import NetworkPartition\n",
      "from repro.obs import NULL_OBS\n"),
+    ("PL210", "repro.pql.badpql",
+     "from repro.storage.waldo import Waldo\n",
+     "from repro.core.records import Attr\n"),
+    ("PL210", "repro.pql.badpql",
+     "import repro.storage.database\n",
+     "from repro.lint.pqlcheck import Vocabulary\n"),
 ]
 
 

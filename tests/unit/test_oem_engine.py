@@ -85,6 +85,141 @@ class TestGraphConstruction:
         assert stub.atoms == {}
 
 
+class TestIncrementalApply:
+    def test_apply_grows_nodes_and_edges(self):
+        graph = OEMGraph()
+        graph.apply(R(1, 0, Attr.INPUT, ObjectRef(2, 0)))
+        child = graph.node(ObjectRef(1, 0))
+        parent = graph.node(ObjectRef(2, 0))
+        assert child.out("input") == [parent]
+        assert parent.rin("input") == [child]
+        assert len(graph.members("node")) == 2
+
+    def test_apply_skips_framing(self):
+        graph = OEMGraph()
+        graph.apply(R(1, 0, Attr.BEGINTXN, 7))
+        graph.apply(R(1, 0, Attr.ENDTXN, 7))
+        assert len(graph) == 0
+
+    def test_identity_flows_to_later_versions(self):
+        graph = OEMGraph()
+        graph.apply(R(1, 0, Attr.NAME, "/f"))
+        graph.apply(R(1, 2, Attr.ANNOTATION, "v2"))
+        assert graph.node(ObjectRef(1, 2)).name == "/f"
+        assert graph.named("/f") and len(graph.named("/f")) == 2
+
+    def test_identity_flows_to_earlier_versions(self):
+        graph = OEMGraph()
+        graph.apply(R(1, 2, Attr.ANNOTATION, "v2"))
+        graph.apply(R(1, 0, Attr.NAME, "/f"))
+        assert graph.node(ObjectRef(1, 2)).name == "/f"
+
+    def test_type_classifies_member_eagerly(self):
+        graph = OEMGraph()
+        graph.apply(R(1, 0, Attr.TYPE, ObjType.FILE))
+        assert len(graph.members("file")) == 1
+        graph.apply(R(1, 3, Attr.PID, 9))
+        assert len(graph.members("file")) == 2
+
+    def test_vocab_epoch_bumps_on_new_labels_only(self):
+        graph = OEMGraph()
+        graph.apply(R(1, 0, Attr.MD5, "aa"))
+        epoch = graph.vocab_epoch
+        graph.apply(R(2, 0, Attr.MD5, "bb"))     # label already known
+        assert graph.vocab_epoch == epoch
+        graph.apply(R(2, 0, Attr.INPUT, ObjectRef(1, 0)))
+        assert graph.vocab_epoch > epoch
+
+    def test_apply_many_counts(self):
+        graph = OEMGraph()
+        applied = graph.apply_many([
+            R(1, 0, Attr.NAME, "/a"),
+            R(2, 0, Attr.NAME, "/b"),
+        ])
+        assert applied == 2
+        assert len(graph) == 2
+
+
+class TestLiveEngine:
+    def test_live_engine_sees_later_inserts(self):
+        from repro.storage.database import ProvenanceDatabase
+        db = ProvenanceDatabase("a")
+        db.insert(R(1, 0, Attr.TYPE, ObjType.FILE))
+        engine = QueryEngine.live([db])
+        count = "select count(F) from Provenance.file as F"
+        assert engine.execute(count) == [1]
+        db.insert(R(2, 0, Attr.TYPE, ObjType.FILE))
+        assert engine.execute(count) == [2]
+
+    def test_from_databases_is_live(self):
+        from repro.storage.database import ProvenanceDatabase
+        db = ProvenanceDatabase("a")
+        engine = QueryEngine.from_databases([db])
+        db.insert(R(1, 0, Attr.NAME, "/x"))
+        assert engine.graph.named("/x")
+
+    def test_from_records_is_a_static_snapshot(self):
+        engine = QueryEngine.from_records([R(1, 0, Attr.NAME, "/x")])
+        assert engine.graph.named("/x")
+
+    def test_waldo_returns_the_same_live_engine(self):
+        from repro.kernel.clock import SimClock
+        from repro.kernel.params import LogParams
+        from repro.storage.log import ProvenanceLog
+        from repro.storage.waldo import Waldo
+        log = ProvenanceLog(SimClock(), LogParams(max_size=1 << 30))
+        waldo = Waldo(log)
+        engine = waldo.query_engine()
+        assert waldo.query_engine() is engine
+        log.append(R(1, 0, Attr.NAME, "/via-drain"))
+        log.flush()
+        log.rotate()
+        waldo.drain()
+        assert engine.graph.named("/via-drain")
+
+    def test_vocabulary_refreshes_when_graph_grows(self):
+        from repro.storage.database import ProvenanceDatabase
+        db = ProvenanceDatabase("a")
+        engine = QueryEngine.live([db])
+        assert not engine.vocabulary().knows("custom_attr")
+        db.insert(R(1, 0, "CUSTOM_ATTR", "payload"))
+        assert engine.vocabulary().knows("custom_attr")
+
+    def test_check_passes_after_vocabulary_growth(self):
+        from repro.core.errors import PQLError
+        from repro.storage.database import ProvenanceDatabase
+        db = ProvenanceDatabase("a")
+        db.insert(R(1, 0, Attr.TYPE, ObjType.FILE))
+        engine = QueryEngine.live([db])
+        query = ("select F from Provenance.file as F "
+                 "where F.custom_attr = 1")
+        with pytest.raises(PQLError):
+            engine.execute(query)
+        db.insert(R(1, 0, "CUSTOM_ATTR", 1))
+        assert engine.execute(query)
+
+
+class TestPlanCache:
+    def test_plan_cache_normalizes_whitespace(self):
+        engine = QueryEngine.from_records([])
+        a = engine.plan("select F from Provenance.file as F")
+        b = engine.plan("select  F\n from   Provenance.file as F")
+        assert a is b
+
+    def test_check_runs_once_per_epoch(self):
+        from repro.obs import Observability
+        obs = Observability(metrics_enabled=True)
+        engine = QueryEngine(OEMGraph.build([
+            R(1, 0, Attr.TYPE, ObjType.FILE)]), obs=obs)
+        text = "select F from Provenance.file as F"
+        engine.execute(text)
+        engine.execute(text)
+        counters = obs.stats()["pql"]["counters"]
+        assert counters["parses"] == 1
+        assert counters["parse_cache_hits"] == 1
+        assert counters["check_cache_hits"] == 1
+
+
 class TestEngine:
     def test_from_databases_merges(self):
         from repro.storage.database import ProvenanceDatabase
