@@ -25,12 +25,16 @@ from __future__ import annotations
 
 import argparse
 import itertools
-import json
 import sys
 import time
 
 from repro.pql.engine import QueryEngine
 from repro.system import BootConfig, System
+
+try:
+    from _bench_io import merge_results
+except ImportError:  # imported as part of a package-style run
+    from benchmarks._bench_io import merge_results
 
 #: Metrics off in both arms: measure the pipeline + graph work itself.
 QUIET = BootConfig(observability=False)
@@ -138,10 +142,9 @@ def main(argv=None) -> int:
     print(f"  incremental (live graph): "
           f"{result['incremental']['total_s']:.3f}s")
     print(f"  speedup: {result['speedup']:.1f}x")
-    if args.out:
-        with open(args.out, "w", encoding="utf-8") as handle:
-            json.dump(result, handle, indent=2, sort_keys=True)
-        print(f"wrote {args.out}")
+    if args.out and args.out != "-":
+        merge_results(args.out, "incremental_query", result)
+        print(f"merged into {args.out}")
     if result["records_total"] < args.min_records:
         print(f"FAIL: churned {result['records_total']} records, need "
               f">= {args.min_records}", file=sys.stderr)

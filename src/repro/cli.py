@@ -305,12 +305,70 @@ def cmd_trace(args: argparse.Namespace) -> int:
 
 BENCH_SCHEMA = "repro-bench/1"
 
+#: Registered benchmark suites for ``bench --suite``: suite name ->
+#: (module in benchmarks/, full-scale kwargs, --quick kwargs).  Each
+#: module exposes ``run(**kwargs) -> payload``; payloads are merged
+#: into the suite document by ``benchmarks._bench_io.merge_results``.
+BENCH_SUITES = {
+    "ingest": ("bench_ingest",
+               {}, {"rounds": 2, "files": 24, "repeats": 1}),
+    "incremental_query": ("bench_incremental_query",
+                          {}, {"rounds": 3, "files": 30}),
+}
+
+
+def _benchmarks_dir() -> str:
+    """The repo-root ``benchmarks/`` directory (suite registry home)."""
+    import os
+
+    root = os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))))
+    return os.path.join(root, "benchmarks")
+
+
+def _run_bench_suites(args: argparse.Namespace) -> int:
+    """Run registered benchmark suites and merge their payloads."""
+    import importlib
+    import os
+    import sys as _sys
+
+    names = sorted(BENCH_SUITES) if "all" in args.suite else args.suite
+    unknown = [name for name in names if name not in BENCH_SUITES]
+    if unknown:
+        print(f"bench: unknown suite(s) {', '.join(unknown)!s} "
+              f"(have: {', '.join(sorted(BENCH_SUITES))}, all)",
+              file=sys.stderr)
+        return 2
+    bench_dir = _benchmarks_dir()
+    if not os.path.isdir(bench_dir):
+        print(f"bench: benchmarks directory not found at {bench_dir!r}",
+              file=sys.stderr)
+        return 2
+    if bench_dir not in _sys.path:
+        _sys.path.insert(0, bench_dir)
+    merge_results = importlib.import_module("_bench_io").merge_results
+    for name in names:
+        module_name, full, quick = BENCH_SUITES[name]
+        kwargs = quick if args.quick else full
+        payload = importlib.import_module(module_name).run(**kwargs)
+        print(f"{name}: {payload['records_total']} records, "
+              f"{payload['speedup']:.1f}x speedup")
+        if args.out != "-":
+            merge_results(args.out, name, payload)
+    if args.out != "-":
+        print(f"merged {len(names)} suite(s) into {args.out}",
+              file=sys.stderr)
+    return 0
+
 
 def cmd_bench(args: argparse.Namespace) -> int:
     import json
 
     from repro.workloads import ALL_WORKLOADS
     from repro.workloads.base import overhead_pct, run_local
+
+    if args.suite:
+        return _run_bench_suites(args)
 
     workloads = {}
     print(f"{'Benchmark':22s}{'Ext3':>10s}{'PASSv2':>10s}{'Overhead':>10s}")
@@ -441,8 +499,16 @@ def main(argv: list[str] | None = None) -> int:
                       help="list every registered PL### rule and exit")
     lint.set_defaults(func=cmd_lint)
 
-    bench = sub.add_parser("bench", help="quick Table 2 (left) run")
+    bench = sub.add_parser(
+        "bench", help="quick Table 2 (left) run, or registered suites")
     bench.add_argument("--scale", type=float, default=0.2)
+    bench.add_argument("--suite", action="append", metavar="NAME",
+                       default=[],
+                       help="run a registered benchmark suite instead "
+                            "(repeatable; 'all' runs every one) and "
+                            "merge its payload into --out")
+    bench.add_argument("--quick", action="store_true",
+                       help="suite mode: small-scale smoke run")
     bench.add_argument("--out", metavar="FILE", default="BENCH_results.json",
                        help="where to write the JSON results "
                             "('-' to skip; default %(default)s)")

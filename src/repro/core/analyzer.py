@@ -33,8 +33,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Optional, Union
 
+from collections import OrderedDict
+
+from repro.core.errors import InvalidRecord
 from repro.core.pnode import ObjectRef
-from repro.core.records import Attr, ProvenanceRecord, Value
+from repro.core.records import Attr, ProvenanceRecord, RecordBatch, Value
+
+#: Plain value classes a record may carry (the batch path validates with
+#: one frozenset membership test instead of three isinstance calls).
+_PLAIN_VALUE_TYPES = frozenset((int, float, str, bytes, bool))
 
 
 @dataclass
@@ -64,11 +71,27 @@ class Analyzer:
     data structures.
     """
 
+    #: Capacity of the hot-triple duplicate cache (see submit_batch).
+    HOT_TRIPLES = 4096
+
     def __init__(self, emit: Callable[[ProvenanceRecord], None],
-                 clock=None, record_cost: float = 0.0):
+                 clock=None, record_cost: float = 0.0,
+                 emit_batch: Optional[Callable[[RecordBatch], None]] = None):
         self._emit = emit
+        #: Batch sink (distributor.flush_batch); when None, batches
+        #: degrade to per-record emits through ``emit``.
+        self._emit_batch = emit_batch
         self._clock = clock
         self._record_cost = record_cost
+        #: While submit_batch runs, admitted records collect here (so
+        #: freeze-emitted PREV_VERSION records keep their position in
+        #: the batch) instead of going straight to ``emit``.
+        self._batch_out: Optional[list] = None
+        #: LRU of (pnode, version, attr, value-key) quadruples already
+        #: processed: block-sized I/O re-submits the same few triples
+        #: hundreds of times, and a hit here classifies the record as a
+        #: duplicate without constructing anything.
+        self._hot: OrderedDict[tuple, None] = OrderedDict()
         #: Ancestors (ObjectRefs) of each pnode's *current* version.
         self._ancestors: dict[int, set[ObjectRef]] = {}
         #: Versions some object depends on: immutable from then on.
@@ -146,6 +169,138 @@ class Analyzer:
         for proto in protos:
             self.submit(proto)
 
+    def submit_batch(self, protos) -> int:
+        """Admit a sequence in one vectorized pass; returns emitted count.
+
+        Semantically identical to calling :meth:`submit` per item (the
+        batched-vs-unbatched property test holds the two paths to the
+        same database contents), but the per-record constants are
+        amortized:
+
+        * one clock advance for the whole batch;
+        * duplicate elimination runs *before* record construction --
+          one ``_seen``-set membership test per proto, with subject refs
+          resolved once per run of protos about the same object;
+        * a capped LRU of hot (subject, attr, value-key) triples
+          short-circuits the duplicate storms block-sized I/O produces;
+          it is consulted (and fed) only at run boundaries -- inside a
+          run the ``_seen`` set is already at hand, so LRU maintenance
+          there would be pure overhead;
+        * field validation happens here with per-class tests, so records
+          are minted inline (the loop-local form of
+          :func:`~repro.core.records.make_record`) instead of through
+          the frozen-dataclass ``__init__``;
+        * admitted records leave as one :class:`RecordBatch` through
+          ``emit_batch`` (freeze-emitted PREV_VERSION records are
+          spliced into the batch at their admission position, so record
+          order matches the per-record path exactly).
+        """
+        if not isinstance(protos, (list, tuple)):
+            protos = list(protos)
+        count = len(protos)
+        self.records_in += count
+        if self._clock is not None and self._record_cost:
+            self._clock.advance(self._record_cost * count,
+                                "provenance_cpu")
+        out: list[ProvenanceRecord] = []
+        emitted = dropped = 0
+        self._batch_out = out
+        try:
+            seen_map = self._seen
+            hot = self._hot
+            hot_cap = self.HOT_TRIPLES
+            dedup = self.dedup_enabled
+            ancestry = Attr.ANCESTRY_ATTRS
+            plain_types = _PLAIN_VALUE_TYPES
+            out_append = out.append
+            new_record = ProvenanceRecord.__new__
+            record_cls = ProvenanceRecord
+            last_subject = last_ref = last_seen = None
+            for proto in protos:
+                if proto.__class__ is not ProtoRecord and isinstance(
+                        proto, ProvenanceRecord):
+                    # Already finalized (e.g. the NFS wire): the legacy
+                    # admission path, collected via _batch_out.
+                    self._admit(proto.subject, proto.attr, proto.value)
+                    continue
+                subject = proto.subject
+                attr = proto.attr
+                value = proto.value
+                cls = value.__class__
+                if cls is ObjectRef or isinstance(value, ObjectRef):
+                    if attr in ancestry:
+                        self._avoid_cycle(subject, value)
+                        # A freeze bumps the subject's version; drop the
+                        # run cache so the ref is re-resolved.
+                        last_subject = None
+                    is_ref = True
+                    vkey = ("ref", value.pnode, value.version)
+                else:
+                    if cls not in plain_types and not isinstance(
+                            value, (int, float, str, bytes, bool)):
+                        raise InvalidRecord(
+                            f"unsupported value type: {cls.__name__}")
+                    is_ref = False
+                    vkey = (cls.__name__, value)
+                if not attr or (attr.__class__ is not str
+                                and not isinstance(attr, str)):
+                    raise InvalidRecord(
+                        f"attribute must be a non-empty string: {attr!r}")
+                if subject is last_subject:
+                    ref = last_ref
+                    seen = last_seen
+                    hkey = None
+                else:
+                    if dedup:
+                        hkey = (subject.pnode, subject.version, attr, vkey)
+                        if hkey in hot:
+                            hot.move_to_end(hkey)
+                            dropped += 1
+                            continue
+                    else:
+                        hkey = None
+                    ref = subject.ref()
+                    if not isinstance(ref, ObjectRef):
+                        raise InvalidRecord(
+                            f"subject must be an ObjectRef: {ref!r}")
+                    seen = seen_map.get(ref)
+                    if seen is None:
+                        seen = set()
+                        seen_map[ref] = seen
+                    last_subject, last_ref, last_seen = subject, ref, seen
+                if hkey is not None:
+                    hot[hkey] = None
+                    if len(hot) > hot_cap:
+                        hot.popitem(last=False)
+                dkey = (attr, vkey)
+                if dkey in seen:
+                    if dedup:
+                        dropped += 1
+                        continue
+                else:
+                    seen.add(dkey)
+                record = new_record(record_cls)
+                fields = record.__dict__
+                fields["subject"] = ref
+                fields["attr"] = attr
+                fields["value"] = value
+                if is_ref and attr in ancestry:
+                    self._note_edge(ref, value)
+                emitted += 1
+                out_append(record)
+        finally:
+            self._batch_out = None
+            self.records_out += emitted
+            self.duplicates_dropped += dropped
+        if out:
+            if self._emit_batch is not None:
+                self._emit_batch(RecordBatch(out))
+            else:
+                emit = self._emit
+                for record in out:
+                    emit(record)
+        return len(out)
+
     def _admit(self, subject_ref: ObjectRef, attr: str, value: Value) -> None:
         record = ProvenanceRecord(subject_ref, attr, value)
         seen = self._seen.setdefault(subject_ref, set())
@@ -159,7 +314,11 @@ class Analyzer:
         if record.is_ancestry:
             self._note_edge(subject_ref, value)
         self.records_out += 1
-        self._emit(record)
+        batch_out = self._batch_out
+        if batch_out is not None:
+            batch_out.append(record)
+        else:
+            self._emit(record)
 
     # -- cycle avoidance --------------------------------------------------------
 

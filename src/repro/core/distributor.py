@@ -22,7 +22,7 @@ from typing import Callable, Optional
 
 from repro.core.errors import UnknownPnode, VolumeError
 from repro.core.pnode import TRANSIENT_VOLUME, ObjectRef, volume_of
-from repro.core.records import Bundle, ProvenanceRecord
+from repro.core.records import Bundle, ProvenanceRecord, RecordBatch
 
 #: A sink accepting (volume_name, Bundle) -- Lasagna's provenance-only
 #: write path, bound in by the kernel assembly.
@@ -47,11 +47,16 @@ class Distributor:
         self._assigned: dict[int, str] = {}
         #: Volume hints from pass_mkobj.
         self._hints: dict[int, str] = {}
+        #: While flush_batch runs, volume-bound records accumulate here
+        #: (per-volume, in admission order) instead of hitting the sink
+        #: one Bundle at a time; None outside a batch.
+        self._pending: Optional[dict[str, list[ProvenanceRecord]]] = None
         # Statistics.
         self.records_cached = 0
         self.records_flushed = 0
         self.records_discarded = 0
         self.flush_calls = 0
+        self.batches_dispatched = 0
 
     def bind_obs(self, obs) -> None:
         """Expose cache/flush totals to the observability layer
@@ -64,6 +69,7 @@ class Distributor:
             "records_flushed": self.records_flushed,
             "records_discarded": self.records_discarded,
             "flush_calls": self.flush_calls,
+            "batches_dispatched": self.batches_dispatched,
             "pending_pnodes": len(self._cache),
             "assigned_pnodes": len(self._assigned),
         }
@@ -93,6 +99,75 @@ class Distributor:
         else:
             self._cache.setdefault(pnode, []).append(record)
             self.records_cached += 1
+
+    def flush_batch(self, batch: RecordBatch) -> None:
+        """Accept a batch of finalized records from the analyzer.
+
+        Routing is record-for-record identical to :meth:`dispatch`
+        (persistent / already-assigned records bind to a volume,
+        ancestors materialize first, everything else is cached), but
+        volume-bound records accumulate in per-volume buffers and reach
+        the sink as one :class:`RecordBatch` per volume instead of one
+        Bundle per record.  Per-volume record order -- the order the WAP
+        log and the database see -- is exactly the per-record order.
+        """
+        pending: dict[str, list[ProvenanceRecord]] = {}
+        self._pending = pending
+        flushed = cached = 0
+        try:
+            cache = self._cache
+            assigned = self._assigned
+            volume_name_of = self._volume_name_of
+            # Batches arrive as runs of records about the same subject;
+            # the routing decision (and destination list) is re-derived
+            # only when the subject pnode changes.  A pnode's routing
+            # can only flip from cached to assigned when some *other*
+            # subject's record references it, which always breaks the
+            # run first, so the cached decision never goes stale.
+            last_pnode = None
+            volume = None
+            bucket: Optional[list] = None
+            routed = False
+            for record in batch:
+                pnode = record.subject.pnode
+                if pnode != last_pnode:
+                    last_pnode = pnode
+                    volume_id = volume_of(pnode)
+                    if volume_id != TRANSIENT_VOLUME:
+                        volume = volume_name_of(volume_id)
+                        routed = True
+                    elif pnode in assigned:
+                        volume = assigned[pnode]
+                        routed = True
+                    else:
+                        routed = False
+                        bucket = cache.get(pnode)
+                        if bucket is None:
+                            bucket = cache[pnode] = []
+                    if routed:
+                        bucket = pending.get(volume)
+                        if bucket is None:
+                            bucket = pending[volume] = []
+                if routed:
+                    value = record.value
+                    if isinstance(value, ObjectRef):
+                        # Ancestors first: write-ahead provenance across
+                        # objects.  flush() appends into ``pending`` (the
+                        # same per-volume list ``bucket`` refers to), so
+                        # ancestor records precede this one.
+                        self.flush(value.pnode, volume)
+                    bucket.append(record)
+                    flushed += 1
+                else:
+                    bucket.append(record)
+                    cached += 1
+        finally:
+            self._pending = None
+            self.records_flushed += flushed
+            self.records_cached += cached
+        self.batches_dispatched += 1
+        for volume, records in pending.items():
+            self._flush_sink(volume, RecordBatch(records))
 
     def _flush_ancestors(self, record: ProvenanceRecord, volume: str) -> None:
         """Materialize cached provenance of any ancestor the record names."""
@@ -131,7 +206,12 @@ class Distributor:
         for record in records:
             if isinstance(record.value, ObjectRef):
                 self.flush(record.value.pnode, volume)
-        self._flush_sink(volume, Bundle(records))
+        pending = self._pending
+        if pending is not None:
+            # Inside flush_batch: join the per-volume batch in order.
+            pending.setdefault(volume, []).extend(records)
+        else:
+            self._flush_sink(volume, Bundle(records))
         self.records_flushed += len(records)
         return len(records)
 

@@ -71,6 +71,32 @@ class LibPass:
             observer.adopt(target)
         return ProtoRecord(target, attr, value)
 
+    def record_many(self, subject_fd: int, attr: str,
+                    values: Iterable[Value]) -> list[ProtoRecord]:
+        """Build many disclosed records about one subject in one call.
+
+        The bulk companion to :meth:`record`: the descriptor is resolved
+        (and the subject adopted) once for the whole group instead of
+        per record, which is what tight disclosure loops -- application
+        checkpoints, batch annotators -- want before handing the group
+        to :meth:`pass_write`.
+        """
+        observer = self._observer()
+        _, target = self._target(subject_fd)
+        if getattr(target, "pnode", 0) == 0:
+            observer.adopt(target)
+        new = ProtoRecord.__new__
+        protos: list[ProtoRecord] = []
+        append = protos.append
+        for value in values:
+            # Bulk fast path: fill the instance dict directly instead of
+            # running the dataclass __init__ once per record.
+            proto = new(ProtoRecord)
+            proto.__dict__ = {"subject": target, "attr": attr,
+                              "value": value}
+            append(proto)
+        return protos
+
     # -- the six DPAPI calls ------------------------------------------------------------
 
     def pass_read(self, fd: int, length: int = -1) -> tuple[bytes, ObjectRef]:

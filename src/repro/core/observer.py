@@ -34,10 +34,15 @@ class Observer:
     """Translates events into records and routes data through the DPAPI."""
 
     def __init__(self, kernel: "Kernel", analyzer: Analyzer,
-                 distributor: Distributor):
+                 distributor: Distributor, batching: bool = True):
         self.kernel = kernel
         self.analyzer = analyzer
         self.distributor = distributor
+        #: Batched ingest: each event's proto-records travel downstream
+        #: as one ``Analyzer.submit_batch`` call instead of one submit
+        #: per record.  Off = the per-record legacy path (the benchmark
+        #: baseline and the unbatched arm of the equivalence tests).
+        self.batching = batching
         self._transient = PnodeAllocator(TRANSIENT_VOLUME)
         #: pnodes whose identity (NAME/TYPE) records were already emitted.
         self._identified: set[int] = set()
@@ -69,6 +74,29 @@ class Observer:
         self.records_emitted += 1
         self.analyzer.submit(proto)
 
+    def _flush_event(self, protos: list) -> None:
+        """Emit one event's worth of proto-records downstream.
+
+        With batching on, the whole event becomes one
+        ``Analyzer.submit_batch`` call; otherwise each proto takes the
+        per-record path.  Admission order is the list order either way.
+        """
+        if not protos:
+            return
+        self.records_emitted += len(protos)
+        if self.batching:
+            self.analyzer.submit_batch(protos)
+        else:
+            submit = self.analyzer.submit
+            for proto in protos:
+                submit(proto)
+
+    def submit_protos(self, protos) -> None:
+        """Public batch entry: emit caller-built proto-records as one
+        event (the kernel's rename/link paths and provenance-aware
+        layers use this instead of reaching into the analyzer)."""
+        self._flush_event(list(protos))
+
     # -- pnode management -------------------------------------------------------
 
     def transient_pnode(self) -> int:
@@ -85,6 +113,13 @@ class Observer:
 
     def identify_inode(self, inode: Inode, path: Optional[str] = None) -> None:
         """Emit NAME/TYPE/TIME for a file on first provenance contact."""
+        protos: list = []
+        self._identify_inode(inode, path, protos)
+        self._flush_event(protos)
+
+    def _identify_inode(self, inode: Inode, path: Optional[str],
+                        protos: list) -> None:
+        """Collect a file's first-contact identity into the event batch."""
         self.adopt(inode)
         if inode.pnode in self._identified:
             return
@@ -92,59 +127,71 @@ class Observer:
         obj_type = ObjType.FILE if inode.volume.pass_capable else ObjType.NP_FILE
         if inode.is_dir:
             obj_type = ObjType.DIR
-        self._submit(ProtoRecord(inode, Attr.TYPE, obj_type))
+        protos.append(ProtoRecord(inode, Attr.TYPE, obj_type))
         if path:
-            self._submit(ProtoRecord(inode, Attr.NAME, path))
-        self._submit(ProtoRecord(inode, Attr.TIME,
-                                  self.kernel.clock.now))
+            protos.append(ProtoRecord(inode, Attr.NAME, path))
+        protos.append(ProtoRecord(inode, Attr.TIME, self.kernel.clock.now))
 
     def identify_process(self, proc: Process) -> None:
         """Emit TYPE/NAME/ARGV/ENV/PID for a process on first contact."""
+        protos: list = []
+        self._identify_process(proc, protos)
+        self._flush_event(protos)
+
+    def _identify_process(self, proc: Process, protos: list) -> None:
+        """Collect a process's first-contact identity into the batch."""
         self.analyzer.register(proc)
         if proc.pnode in self._identified:
             return
         self._identified.add(proc.pnode)
-        self._submit(ProtoRecord(proc, Attr.TYPE, ObjType.PROCESS))
+        protos.append(ProtoRecord(proc, Attr.TYPE, ObjType.PROCESS))
         if proc.argv:
-            self._submit(ProtoRecord(proc, Attr.NAME, proc.argv[0]))
-            self._submit(ProtoRecord(proc, Attr.ARGV, "\0".join(proc.argv)))
+            protos.append(ProtoRecord(proc, Attr.NAME, proc.argv[0]))
+            protos.append(ProtoRecord(proc, Attr.ARGV, "\0".join(proc.argv)))
         if proc.env:
             env = "\0".join(f"{key}={value}" for key, value in sorted(proc.env.items()))
-            self._submit(ProtoRecord(proc, Attr.ENV, env))
-        self._submit(ProtoRecord(proc, Attr.PID, proc.pid))
-        self._submit(ProtoRecord(proc, Attr.TIME,
-                                  self.kernel.clock.now))
+            protos.append(ProtoRecord(proc, Attr.ENV, env))
+        protos.append(ProtoRecord(proc, Attr.PID, proc.pid))
+        protos.append(ProtoRecord(proc, Attr.TIME, self.kernel.clock.now))
         # Environment facts system-level provenance is valued for:
         # "the specific binaries, libraries, and kernel modules in use".
-        self._submit(ProtoRecord(proc, Attr.KERNEL,
+        protos.append(ProtoRecord(proc, Attr.KERNEL,
                                   self.kernel.version_string))
 
     def identify_pipe(self, pipe: Pipe) -> None:
         """Emit TYPE for a pipe on first contact."""
+        protos: list = []
+        self._identify_pipe(pipe, protos)
+        self._flush_event(protos)
+
+    def _identify_pipe(self, pipe: Pipe, protos: list) -> None:
+        """Collect a pipe's first-contact identity into the batch."""
         self.analyzer.register(pipe)
         if pipe.pnode in self._identified:
             return
         self._identified.add(pipe.pnode)
-        self._submit(ProtoRecord(pipe, Attr.TYPE, ObjType.PIPE))
+        protos.append(ProtoRecord(pipe, Attr.TYPE, ObjType.PIPE))
 
     # -- system-call handlers (called by the interceptor) ---------------------------
 
     def on_execve(self, proc: Process, binary: Optional[Inode],
                   path: Optional[str]) -> None:
         """Process executed a binary: identity + EXEC ancestry edge."""
-        self.identify_process(proc)
+        protos: list = []
+        self._identify_process(proc, protos)
         if binary is not None:
-            self.identify_inode(binary, path)
-            self._submit(ProtoRecord(proc, Attr.EXEC, binary.ref()))
+            self._identify_inode(binary, path, protos)
+            protos.append(ProtoRecord(proc, Attr.EXEC, binary.ref()))
+        self._flush_event(protos)
 
     def on_fork(self, child: Process, parent: Optional[Process]) -> None:
         """New process: identity + FORKPARENT ancestry edge."""
-        self.identify_process(child)
+        protos: list = []
+        self._identify_process(child, protos)
         if parent is not None:
-            self.identify_process(parent)
-            self._submit(
-                ProtoRecord(child, Attr.FORKPARENT, parent.ref())
-            )
+            self._identify_process(parent, protos)
+            protos.append(ProtoRecord(child, Attr.FORKPARENT, parent.ref()))
+        self._flush_event(protos)
 
     def on_exit(self, proc: Process) -> None:
         """Process exit.  Cached provenance stays in the distributor: a
@@ -155,38 +202,55 @@ class Observer:
     def on_read(self, proc: Process, inode: Inode, path: Optional[str],
                 offset: int, length: int) -> bytes:
         """pass_read semantics: return data plus record P -> file@version."""
-        self.identify_inode(inode, path)
-        self.identify_process(proc)
+        protos: list = []
+        self._identify_inode(inode, path, protos)
+        self._identify_process(proc, protos)
         data = self._read_data(inode, offset, length)
-        self._submit(ProtoRecord(proc, Attr.INPUT, inode.ref()))
+        protos.append(ProtoRecord(proc, Attr.INPUT, inode.ref()))
+        self._flush_event(protos)
         return data
 
     def on_write(self, proc: Process, inode: Inode, path: Optional[str],
                  offset: int, data: Optional[bytes],
                  length: Optional[int]) -> int:
         """Record file -> P, then write data with its provenance (WAP)."""
-        self.identify_inode(inode, path)
-        self.identify_process(proc)
-        self._note_writer(inode, proc.pnode)
-        self._submit(ProtoRecord(inode, Attr.INPUT, proc.ref()))
+        protos: list = []
+        self._identify_inode(inode, path, protos)
+        self._identify_process(proc, protos)
+        if self._writer_changed(inode, proc.pnode):
+            # The freeze record must land between the identity records
+            # and the INPUT edge, exactly as on the per-record path: the
+            # identity batch goes first, then the freeze, then the edge.
+            self._flush_event(protos)
+            protos = []
+            self.analyzer.freeze(inode)
+        self._last_writer[inode.pnode] = proc.pnode
+        protos.append(ProtoRecord(inode, Attr.INPUT, proc.ref()))
+        self._flush_event(protos)
         return self._write_data(inode, offset, data, length)
+
+    def _writer_changed(self, inode: Inode, writer_pnode: int) -> bool:
+        """True when a different process starts writing this file."""
+        previous = self._last_writer.get(inode.pnode)
+        return previous is not None and previous != writer_pnode
 
     def _note_writer(self, inode: Inode, writer_pnode: int) -> None:
         """Freeze a file that a new process starts writing."""
-        previous = self._last_writer.get(inode.pnode)
-        if previous is not None and previous != writer_pnode:
+        if self._writer_changed(inode, writer_pnode):
             self.analyzer.freeze(inode)
         self._last_writer[inode.pnode] = writer_pnode
 
     def on_mmap(self, proc: Process, inode: Inode, path: Optional[str],
                 readable: bool, writable: bool) -> None:
         """mmap creates dependencies in whichever directions it maps."""
-        self.identify_inode(inode, path)
-        self.identify_process(proc)
+        protos: list = []
+        self._identify_inode(inode, path, protos)
+        self._identify_process(proc, protos)
         if readable:
-            self._submit(ProtoRecord(proc, Attr.INPUT, inode.ref()))
+            protos.append(ProtoRecord(proc, Attr.INPUT, inode.ref()))
         if writable:
-            self._submit(ProtoRecord(inode, Attr.INPUT, proc.ref()))
+            protos.append(ProtoRecord(inode, Attr.INPUT, proc.ref()))
+        self._flush_event(protos)
 
     def on_pipe_create(self, proc: Process, pipe: Pipe) -> None:
         """New pipe: assign identity."""
@@ -195,15 +259,19 @@ class Observer:
 
     def on_pipe_write(self, proc: Process, pipe: Pipe) -> None:
         """pipe depends on the writing process."""
-        self.identify_pipe(pipe)
-        self.identify_process(proc)
-        self._submit(ProtoRecord(pipe, Attr.INPUT, proc.ref()))
+        protos: list = []
+        self._identify_pipe(pipe, protos)
+        self._identify_process(proc, protos)
+        protos.append(ProtoRecord(pipe, Attr.INPUT, proc.ref()))
+        self._flush_event(protos)
 
     def on_pipe_read(self, proc: Process, pipe: Pipe) -> None:
         """the reading process depends on the pipe."""
-        self.identify_pipe(pipe)
-        self.identify_process(proc)
-        self._submit(ProtoRecord(proc, Attr.INPUT, pipe.ref()))
+        protos: list = []
+        self._identify_pipe(pipe, protos)
+        self._identify_process(proc, protos)
+        protos.append(ProtoRecord(proc, Attr.INPUT, pipe.ref()))
+        self._flush_event(protos)
 
     def on_drop_inode(self, inode: Inode) -> None:
         """Last unlink: transient (non-PASS) file provenance with no
@@ -216,12 +284,15 @@ class Observer:
 
     def disclosed_records(self, proc: Optional[Process],
                           protos: Iterable[ProtoRecord]) -> None:
-        """Accept application-disclosed records."""
+        """Accept application-disclosed records (one event batch: bulk
+        disclosure is the DPAPI's natural big-batch entry point)."""
+        event: list = []
         if proc is not None:
-            self.identify_process(proc)
-        for proto in protos:
-            self.disclosed_count += 1
-            self._submit(proto)
+            self._identify_process(proc, event)
+        before = len(event)
+        event.extend(protos)
+        self.disclosed_count += len(event) - before
+        self._flush_event(event)
 
     def disclosed_write(self, proc: Optional[Process], inode: Inode,
                         path: Optional[str], offset: int,
@@ -229,15 +300,21 @@ class Observer:
                         protos: Iterable[ProtoRecord]) -> int:
         """DPAPI pass_write from an application: disclosed records plus
         the kernel's own application->file dependency, plus the data."""
-        self.identify_inode(inode, path)
+        event: list = []
+        self._identify_inode(inode, path, event)
         if proc is not None and (data is not None or length is not None):
-            self._note_writer(inode, proc.pnode)
-        for proto in protos:
-            self.disclosed_count += 1
-            self._submit(proto)
+            if self._writer_changed(inode, proc.pnode):
+                self._flush_event(event)
+                event = []
+                self.analyzer.freeze(inode)
+            self._last_writer[inode.pnode] = proc.pnode
+        before = len(event)
+        event.extend(protos)
+        self.disclosed_count += len(event) - before
         if proc is not None:
-            self.identify_process(proc)
-            self._submit(ProtoRecord(inode, Attr.INPUT, proc.ref()))
+            self._identify_process(proc, event)
+            event.append(ProtoRecord(inode, Attr.INPUT, proc.ref()))
+        self._flush_event(event)
         if data is None and length is None:
             return 0
         return self._write_data(inode, offset, data, length)

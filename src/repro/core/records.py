@@ -14,7 +14,7 @@ shell pipeline, for example).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Union
+from typing import Iterable, Optional, Union
 
 from repro.core.errors import InvalidRecord
 from repro.core.pnode import ObjectRef
@@ -129,6 +129,26 @@ class ProvenanceRecord:
         return f"{self.subject} {self.attr}={self.value!r}"
 
 
+def make_record(subject: ObjectRef, attr: str, value: Value) -> "ProvenanceRecord":
+    """Trusted-path record constructor for internal pipeline stages.
+
+    The batch analyzer validates subject/attr/value itself (once per
+    run of protos, with cheap class tests) before minting records, so
+    re-running the frozen-dataclass ``__init__``/``__post_init__``
+    ceremony -- three ``object.__setattr__`` calls plus three
+    ``isinstance`` checks per record -- would only repeat work.  The
+    returned record is indistinguishable from one built normally.
+    Callers *must* guarantee the field invariants ``__post_init__``
+    enforces; external producers go through ``ProvenanceRecord(...)``.
+    """
+    record = ProvenanceRecord.__new__(ProvenanceRecord)
+    fields = record.__dict__
+    fields["subject"] = subject
+    fields["attr"] = attr
+    fields["value"] = value
+    return record
+
+
 def _value_key(value: Value) -> tuple:
     """Return a hashable, type-disambiguated key for a record value.
 
@@ -138,6 +158,55 @@ def _value_key(value: Value) -> tuple:
     if isinstance(value, ObjectRef):
         return ("ref", value.pnode, value.version)
     return (type(value).__name__, value)
+
+
+class RecordBatch:
+    """An ordered batch of finalized records on the batched ingest path.
+
+    The carrier the batch pipeline (analyzer ``submit_batch`` ->
+    distributor ``flush_batch`` -> Lasagna ``append_provenance`` -> log
+    ``append_batch``) hands between layers.  Unlike :class:`Bundle` it
+    performs no per-item validation: every producer is an internal
+    pipeline stage that only ever holds already-validated
+    :class:`ProvenanceRecord` instances, so re-checking each one would
+    put a per-record cost back on the path batching exists to remove.
+    It iterates and sizes like a Bundle, so sinks accept either.
+    """
+
+    __slots__ = ("records",)
+
+    def __init__(self, records: Optional[list] = None):
+        #: The backing list, in admission order.  Owned by the batch:
+        #: producers hand the list over rather than copying it.
+        self.records: list[ProvenanceRecord] = (
+            records if records is not None else [])
+
+    def add(self, record: ProvenanceRecord) -> None:
+        """Append one record."""
+        self.records.append(record)
+
+    def extend(self, records: Iterable[ProvenanceRecord]) -> None:
+        """Append many records."""
+        self.records.extend(records)
+
+    def subjects(self) -> list[ObjectRef]:
+        """Distinct subjects in batch order (first occurrence wins)."""
+        seen: dict[ObjectRef, None] = {}
+        for record in self.records:
+            seen.setdefault(record.subject, None)
+        return list(seen)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __bool__(self) -> bool:
+        return bool(self.records)
+
+    def __repr__(self) -> str:
+        return f"RecordBatch({len(self.records)} records)"
 
 
 class Bundle:

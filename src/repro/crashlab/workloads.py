@@ -13,6 +13,7 @@ not Table-2 benchmark recreations.
 
 from __future__ import annotations
 
+from repro.core.records import Attr
 from repro.system import BootConfig, System
 
 #: The boot configuration every exploration run shares: defaults, so a
@@ -68,6 +69,19 @@ def churn(system: System) -> None:
         proc.unlink("/pass/work/src-7.dat")
         fd = proc.open("/pass/work/summary.dat", "w")
         proc.write(fd, b"refined:4\n")
+        proc.close(fd)
+    with system.process(argv=["annotator"]) as proc:
+        # A records-only disclosure burst big enough to cross the
+        # group-commit record threshold: the resulting flush happens at
+        # a point the *log* chose, not a data write, so the explorer
+        # gets crash points inside a group commit (log.flush.pre and
+        # the Waldo drains behind it) to replay against WAP.
+        dpapi = proc.dpapi
+        fd = proc.open("/pass/work/summary.dat", "a")
+        burst = dpapi.record_many(
+            fd, Attr.ANNOTATION,
+            (f"burst.{index}" for index in range(700)))
+        dpapi.pass_write(fd, records=burst)
         proc.close(fd)
     system.sync()
 

@@ -78,6 +78,24 @@ class PageCache:
             self._pages.popitem(last=False)
             self.evictions += 1
 
+    def insert_many(self, volume_id: int, blocks) -> None:
+        """Add a run of pages with one eviction pass at the end.
+
+        Equivalent to calling :meth:`insert` per block (same final LRU
+        order, same eviction count), but the capacity check runs once
+        for the whole run -- the multi-block write path's fast path.
+        """
+        pages = self._pages
+        for block in blocks:
+            key = (volume_id, block)
+            if key in pages:
+                pages.move_to_end(key)
+            else:
+                pages[key] = None
+        while len(pages) > self._capacity:
+            pages.popitem(last=False)
+            self.evictions += 1
+
     def invalidate(self, volume_id: int, block: int) -> None:
         """Drop one page if present."""
         self._pages.pop((volume_id, block), None)

@@ -136,10 +136,17 @@ class Kernel:
 
     # -- provenance wiring ------------------------------------------------------------
 
-    def enable_provenance(self, default_volume: Optional[str] = None) -> None:
+    def enable_provenance(self, default_volume: Optional[str] = None,
+                          batching: bool = True) -> None:
         """Build the observer/analyzer/distributor pipeline and attach the
         interceptor.  Lasagna must already be attached to PASS volumes
-        (the storage layer or :class:`repro.system.System` does that)."""
+        (the storage layer or :class:`repro.system.System` does that).
+
+        ``batching`` selects the batched ingest path: the observer groups
+        each syscall event into one analyzer batch, the analyzer emits
+        :class:`RecordBatch` carriers through ``flush_batch``, and the
+        log group-commits.  ``False`` forces the per-record legacy path
+        (the benchmark baseline and an ablation arm)."""
         from repro.core.analyzer import Analyzer
         from repro.core.distributor import Distributor
         from repro.core.observer import Observer
@@ -158,8 +165,10 @@ class Kernel:
             emit=self.distributor.dispatch,
             clock=self.clock,
             record_cost=self.params.cpu.provenance_record,
+            emit_batch=self.distributor.flush_batch if batching else None,
         )
-        self.observer = Observer(self, self.analyzer, self.distributor)
+        self.observer = Observer(self, self.analyzer, self.distributor,
+                                 batching=batching)
         self.analyzer.bind_obs(self.obs)
         self.distributor.bind_obs(self.obs)
         self.observer.bind_obs(self.obs)

@@ -97,6 +97,14 @@ class LogParams:
     max_size: int = 4 * 1024 * 1024
     #: Rotate the log after this much simulated dormancy.
     dormancy: float = 30.0
+    #: Group commit: flush the buffer once it holds this many records
+    #: (0 disables the record threshold).  Threshold flushes happen
+    #: *earlier* than the next WAP ordering point, never later, so they
+    #: can only strengthen the write-ahead-provenance invariant.
+    group_commit_records: int = 512
+    #: Group commit: flush once the buffered encoded bytes reach this
+    #: size (0 disables the byte threshold).
+    group_commit_bytes: int = 256 * 1024
 
 
 @dataclass

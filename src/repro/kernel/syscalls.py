@@ -278,8 +278,10 @@ class Syscalls:
             # rename automatically (it rides the inode); refresh NAME.
             from repro.core.analyzer import ProtoRecord
             from repro.core.records import Attr
-            observer.identify_inode(inode, None)
-            observer.analyzer.submit(ProtoRecord(inode, Attr.NAME, new))
+            protos: list = []
+            observer._identify_inode(inode, None, protos)
+            protos.append(ProtoRecord(inode, Attr.NAME, new))
+            observer.submit_protos(protos)
 
     def link(self, existing: str, new: str) -> None:
         """Create a hard link; the new name shares the provenance."""
@@ -292,8 +294,10 @@ class Syscalls:
         if self.kernel.interceptor.enabled and observer is not None:
             from repro.core.analyzer import ProtoRecord
             from repro.core.records import Attr
-            observer.identify_inode(inode, existing)
-            observer.analyzer.submit(ProtoRecord(inode, Attr.NAME, new))
+            protos: list = []
+            observer._identify_inode(inode, existing, protos)
+            protos.append(ProtoRecord(inode, Attr.NAME, new))
+            observer.submit_protos(protos)
 
     def truncate(self, path: str, size: int = 0) -> None:
         """Truncate by path."""

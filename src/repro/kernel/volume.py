@@ -168,9 +168,11 @@ class Volume:
         self.disk.write(first_block, length)
         first_logical = offset // self.block_size
         last_logical = max(offset, end - 1) // self.block_size
-        for logical in range(first_logical, last_logical + 1):
-            self.cache.insert(self.volume_id,
-                              inode.block_for(logical * self.block_size))
+        block_size = self.block_size
+        self.cache.insert_many(
+            self.volume_id,
+            (inode.block_for(logical * block_size)
+             for logical in range(first_logical, last_logical + 1)))
         self.data_bytes_written += length
         return length
 

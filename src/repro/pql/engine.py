@@ -107,6 +107,13 @@ class QueryEngine:
             span.tag("nodes", len(graph))
         engine = cls(graph, check=check, obs=obs)
         for source in sources:
+            # Prefer the batch feed (one graph splice per drained
+            # group); sources without one fall back to the per-record
+            # subscription.
+            subscribe_batch = getattr(source, "subscribe_batch", None)
+            if subscribe_batch is not None:
+                subscribe_batch(engine._apply_batch)
+                continue
             subscribe = getattr(source, "subscribe", None)
             if subscribe is not None:
                 subscribe(engine._apply)
@@ -131,6 +138,11 @@ class QueryEngine:
         """Subscription callback: splice one record into the graph."""
         self.graph.apply(record)
         self.obs.inc("pql", "oem_records_applied")
+
+    def _apply_batch(self, records) -> None:
+        """Batch-subscription callback: splice one record group in."""
+        count = self.graph.apply_batch(records)
+        self.obs.inc("pql", "oem_records_applied", count)
 
     def apply_records(self, records: Iterable[ProvenanceRecord]) -> int:
         """Feed a batch of records into the live graph directly (for

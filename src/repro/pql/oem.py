@@ -184,6 +184,53 @@ class OEMGraph:
             count += 1
         return count
 
+    def apply_batch(self, records: Iterable[ProvenanceRecord]) -> int:
+        """Splice a record group into the graph in one vectorized pass.
+
+        Node/atom/edge/identity effects are identical to calling
+        :meth:`apply` per record, but lookups are hoisted out of the
+        loop and vocabulary bookkeeping is deferred: however many new
+        labels or members the batch introduces, the epoch advances once
+        at the end (cached vocabularies only test the epoch for change,
+        so one bump per batch invalidates them just as well).
+        """
+        epoch0 = self.vocab_epoch
+        count = 0
+        live_node = self._live_node
+        edge_labels = self._edge_labels
+        identity = self._identity
+        by_pnode = self._by_pnode
+        add_identity = self._add_identity_atom
+        note_label = self._note_atom_label
+        for record in records:
+            attr = record.attr
+            if attr in _FRAMING:
+                continue
+            count += 1
+            node = live_node(record.subject)
+            label = attr.lower()
+            value = record.value
+            if isinstance(value, ObjectRef):
+                target = live_node(value)
+                node.edges[label].append(target)
+                target.redges[label].append(node)
+                if label not in edge_labels:
+                    edge_labels.add(label)
+                    self.vocab_epoch += 1
+            elif attr in IDENTITY_ATTRS:
+                identity[record.subject.pnode].append((label, value))
+                note_label(label)
+                for version in by_pnode[record.subject.pnode]:
+                    add_identity(version, label, value)
+            else:
+                node.atoms[label].append(value)
+                note_label(label)
+        self.records_applied += count
+        if self.vocab_epoch != epoch0:
+            # Deferred bookkeeping: the whole batch costs one bump.
+            self.vocab_epoch = epoch0 + 1
+        return count
+
     def _node(self, ref: ObjectRef) -> OEMNode:
         node = self._nodes.get(ref)
         if node is None:

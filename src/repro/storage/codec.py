@@ -18,9 +18,9 @@ truncated/corrupt one.
 from __future__ import annotations
 
 import struct
-from typing import Iterable
+from typing import Iterable, Optional
 
-from repro.core.errors import LogCorruption
+from repro.core.errors import InvalidRecord, LogCorruption
 from repro.core.pnode import ObjectRef
 from repro.core.records import ProvenanceRecord, Value
 
@@ -32,6 +32,7 @@ TAG_BOOL = 0x05
 TAG_REF = 0x06
 
 _HEAD = struct.Struct(">QI")          # pnode, version
+_TAG_STR = bytes([TAG_STR])           # pre-built tag for the str fast path
 _REF = struct.Struct(">QI")
 _I64 = struct.Struct(">q")
 _F64 = struct.Struct(">d")
@@ -79,7 +80,11 @@ def decode_value(buf: bytes, offset: int) -> tuple[Value, int]:
                 raise LogCorruption("truncated value payload")
             offset += length
             if tag == TAG_STR:
-                return raw.decode("utf-8"), offset
+                try:
+                    return raw.decode("utf-8"), offset
+                except UnicodeDecodeError as exc:
+                    raise LogCorruption(
+                        f"corrupt string payload: {exc}") from exc
             return bytes(raw), offset
     except (IndexError, struct.error) as exc:
         raise LogCorruption(f"truncated record value: {exc}") from exc
@@ -113,8 +118,15 @@ def decode_record(buf: bytes, offset: int = 0) -> tuple[ProvenanceRecord, int]:
     except (IndexError, struct.error) as exc:
         raise LogCorruption(f"truncated record header: {exc}") from exc
     value, offset = decode_value(buf, offset)
-    record = ProvenanceRecord(ObjectRef(pnode, version),
-                              attr_raw.decode("utf-8"), value)
+    try:
+        record = ProvenanceRecord(ObjectRef(pnode, version),
+                                  attr_raw.decode("utf-8"), value)
+    except UnicodeDecodeError as exc:
+        raise LogCorruption(f"corrupt attribute name: {exc}") from exc
+    except InvalidRecord as exc:
+        # A zeroed attribute-length byte decodes to an empty name; the
+        # record validator rejects it, recovery just stops there.
+        raise LogCorruption(f"corrupt record: {exc}") from exc
     return record, offset
 
 
@@ -135,5 +147,184 @@ def decode_stream(buf: bytes) -> Iterable[ProvenanceRecord]:
 
 
 def encoded_size(record: ProvenanceRecord) -> int:
-    """Encoded length of a record without building the bytes twice."""
-    return len(encode_record(record))
+    """Encoded length of a record, computed arithmetically.
+
+    Equals ``len(encode_record(record))`` (property-tested) without
+    building any bytes -- this runs once per record on the database
+    insert path and once per append on the log's byte accounting, so it
+    must stay allocation-free.
+    """
+    value = record.value
+    # Exact-class tests first (the overwhelmingly common case); the
+    # isinstance chain below only catches subclasses.  bool must stay
+    # ahead of int in both chains (bool is an int subclass).
+    cls = value.__class__
+    if cls is str:
+        vsize = 5 + (len(value) if value.isascii()
+                     else len(value.encode("utf-8")))
+    elif cls is ObjectRef:
+        vsize = 1 + _REF.size
+    elif cls is bool:
+        vsize = 2
+    elif cls is int or cls is float:
+        vsize = 9
+    elif cls is bytes:
+        vsize = 5 + len(value)
+    elif isinstance(value, bool):
+        vsize = 2
+    elif isinstance(value, ObjectRef):
+        vsize = 1 + _REF.size
+    elif isinstance(value, (int, float)):
+        vsize = 9
+    elif isinstance(value, str):
+        vsize = 5 + (len(value) if value.isascii()
+                     else len(value.encode("utf-8")))
+    elif isinstance(value, bytes):
+        vsize = 5 + len(value)
+    else:
+        raise TypeError(f"unencodable value type: {type(value).__name__}")
+    attr = record.attr
+    attr_len = len(attr) if attr.isascii() else len(attr.encode("utf-8"))
+    return _HEAD.size + 1 + attr_len + vsize
+
+
+class RecordEncoder:
+    """Memoizing encoder for the group-commit flush path.
+
+    A flush encodes many records that share a small working set of
+    subjects, attribute names, and cross-reference targets (block I/O
+    produces runs of records about the same few objects).  The encoder
+    interns the three reusable fragments of the wire format -- subject
+    head, length-prefixed attribute name, and tagged ObjectRef value --
+    so a batch encode is mostly dictionary hits plus one ``bytes.join``.
+
+    Output is byte-identical to :func:`encode_record` (property-tested).
+    Caches are capped; on overflow they are cleared (the working set has
+    moved on, so LRU bookkeeping would cost more than it saves).
+    """
+
+    _CAP = 8192
+
+    __slots__ = ("_heads", "_attrs", "_refs",
+                 "_run_subject", "_run_attr", "_run_head_prefix")
+
+    def __init__(self) -> None:
+        self._heads: dict[ObjectRef, bytes] = {}
+        self._attrs: dict[str, bytes] = {}
+        self._refs: dict[ObjectRef, bytes] = {}
+        # Run memo: batches arrive as runs of records sharing the same
+        # subject ref *instance* and (interned) attribute string, so the
+        # concatenated head+prefix from the previous record is reusable
+        # after two identity tests -- no hashing, no concat.
+        self._run_subject: Optional[ObjectRef] = None
+        self._run_attr: Optional[str] = None
+        self._run_head_prefix = b""
+
+    def encode(self, record: ProvenanceRecord) -> bytes:
+        """Encode one record (identical bytes to :func:`encode_record`)."""
+        subject = record.subject
+        attr = record.attr
+        if subject is self._run_subject and attr is self._run_attr:
+            head_prefix = self._run_head_prefix
+        else:
+            head = self._heads.get(subject)
+            if head is None:
+                if len(self._heads) >= self._CAP:
+                    self._heads.clear()
+                head = _HEAD.pack(subject.pnode, subject.version)
+                self._heads[subject] = head
+            prefix = self._attrs.get(attr)
+            if prefix is None:
+                raw = attr.encode("utf-8")
+                if len(raw) > 255:
+                    raise ValueError(f"attribute name too long: {attr!r}")
+                if len(self._attrs) >= self._CAP:
+                    self._attrs.clear()
+                prefix = bytes([len(raw)]) + raw
+                self._attrs[attr] = prefix
+            head_prefix = head + prefix
+            self._run_subject = subject
+            self._run_attr = attr
+            self._run_head_prefix = head_prefix
+        value = record.value
+        if value.__class__ is str:
+            # Unique strings (annotations, names) defeat memoization, so
+            # the common tail is encoded inline instead of paying the
+            # encode_value isinstance chain per record.
+            raw = value.encode("utf-8")
+            tail = _TAG_STR + _LEN.pack(len(raw)) + raw
+        elif isinstance(value, ObjectRef):
+            tail = self._refs.get(value)
+            if tail is None:
+                if len(self._refs) >= self._CAP:
+                    self._refs.clear()
+                tail = bytes([TAG_REF]) + _REF.pack(value.pnode,
+                                                    value.version)
+                self._refs[value] = tail
+        else:
+            tail = encode_value(value)
+        return head_prefix + tail
+
+    def encode_list(self, records: Iterable[ProvenanceRecord]) -> list[bytes]:
+        """Encode records into one chunk each (the group-commit buffer).
+
+        Byte-for-byte what ``[self.encode(r) for r in records]`` returns,
+        with the run memo, caches, and value fast paths held in locals so
+        the per-record cost is the loop body alone -- no method dispatch.
+        """
+        heads = self._heads
+        attrs = self._attrs
+        refs = self._refs
+        cap = self._CAP
+        run_subject = self._run_subject
+        run_attr = self._run_attr
+        head_prefix = self._run_head_prefix
+        pack_len = _LEN.pack
+        out: list[bytes] = []
+        append = out.append
+        for record in records:
+            subject = record.subject
+            attr = record.attr
+            if subject is not run_subject or attr is not run_attr:
+                head = heads.get(subject)
+                if head is None:
+                    if len(heads) >= cap:
+                        heads.clear()
+                    head = _HEAD.pack(subject.pnode, subject.version)
+                    heads[subject] = head
+                prefix = attrs.get(attr)
+                if prefix is None:
+                    raw = attr.encode("utf-8")
+                    if len(raw) > 255:
+                        raise ValueError(
+                            f"attribute name too long: {attr!r}")
+                    if len(attrs) >= cap:
+                        attrs.clear()
+                    prefix = bytes([len(raw)]) + raw
+                    attrs[attr] = prefix
+                head_prefix = head + prefix
+                run_subject = subject
+                run_attr = attr
+            value = record.value
+            if value.__class__ is str:
+                raw = value.encode("utf-8")
+                append(head_prefix + _TAG_STR + pack_len(len(raw)) + raw)
+            elif isinstance(value, ObjectRef):
+                tail = refs.get(value)
+                if tail is None:
+                    if len(refs) >= cap:
+                        refs.clear()
+                    tail = bytes([TAG_REF]) + _REF.pack(value.pnode,
+                                                        value.version)
+                    refs[value] = tail
+                append(head_prefix + tail)
+            else:
+                append(head_prefix + encode_value(value))
+        self._run_subject = run_subject
+        self._run_attr = run_attr
+        self._run_head_prefix = head_prefix
+        return out
+
+    def encode_batch(self, records: Iterable[ProvenanceRecord]) -> bytes:
+        """Encode a whole batch into one contiguous byte string."""
+        return b"".join(self.encode_list(records))

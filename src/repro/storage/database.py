@@ -43,18 +43,22 @@ class ProvenanceDatabase:
             defaultdict(list))
         self._max_version: dict[int, int] = {}
         self.record_count = 0
-        self.main_bytes = 0
+        self._main_bytes = 0
+        #: Records inserted by bulk drains whose encoded size has not
+        #: been folded into ``_main_bytes`` yet (see ``main_bytes``).
+        self._unsized: list[ProvenanceRecord] = []
         self.index_bytes = 0
         self._listeners: list = []
+        self._batch_listeners: list = []
 
     # -- writes ------------------------------------------------------------------
 
-    def insert(self, record: ProvenanceRecord) -> None:
-        """Add one record and maintain every index."""
+    def _ingest(self, record: ProvenanceRecord) -> None:
+        """Index one record (no listener notification)."""
         subject = record.subject
         self._records[subject.pnode].append(record)
         self.record_count += 1
-        self.main_bytes += codec.encoded_size(record)
+        self._main_bytes += codec.encoded_size(record)
         previous = self._max_version.get(subject.pnode, -1)
         if subject.version > previous:
             self._max_version[subject.pnode] = subject.version
@@ -67,8 +71,16 @@ class ProvenanceDatabase:
         if isinstance(record.value, ObjectRef):
             self._by_xref[record.value].append((subject, record.attr))
             self.index_bytes += XREF_INDEX_ENTRY_BYTES
+
+    def insert(self, record: ProvenanceRecord) -> None:
+        """Add one record and maintain every index."""
+        self._ingest(record)
         for listener in self._listeners:
             listener(record)
+        if self._batch_listeners:
+            batch = (record,)
+            for listener in self._batch_listeners:
+                listener(batch)
 
     def subscribe(self, listener) -> None:
         """Register a callable invoked with every inserted record.
@@ -81,15 +93,93 @@ class ProvenanceDatabase:
         """
         self._listeners.append(listener)
 
+    def subscribe_batch(self, listener) -> None:
+        """Register a callable invoked with each inserted record *group*.
+
+        The batched flavour of :meth:`subscribe`: ``insert_many`` hands
+        the whole sequence over in one call, and single ``insert`` calls
+        arrive as 1-tuples, so a batch subscriber sees every record
+        exactly once, in insertion order, whichever write path ran.
+        """
+        self._batch_listeners.append(listener)
+
     def insert_many(self, records: Iterable[ProvenanceRecord]) -> int:
-        """Insert a batch; returns how many records were added."""
-        count = 0
+        """Insert a batch; returns how many records were added.
+
+        One vectorized indexing pass -- the loop body mirrors
+        :meth:`_ingest` with every instance lookup hoisted and the size
+        counters accumulated locally; per-record subscribers are then
+        replayed in order and batch subscribers notified once.
+        """
+        if not isinstance(records, (list, tuple)):
+            records = list(records)
+        by_pnode = self._records
+        by_attr = self._by_attr
+        by_name = self._by_name
+        by_xref = self._by_xref
+        max_version = self._max_version
+        name_attr = Attr.NAME
+        index_bytes = 0
+        # Drained batches arrive as runs of records about one subject
+        # (the analyzer resolves refs per run); the pnode list and the
+        # version high-water check are re-derived only when the subject
+        # *instance* changes -- a same-pnode version change always comes
+        # as a different ObjectRef instance.
+        last_subject = None
+        plist: Optional[list] = None
         for record in records:
-            self.insert(record)
-            count += 1
-        return count
+            subject = record.subject
+            if subject is not last_subject:
+                last_subject = subject
+                pnode = subject.pnode
+                plist = by_pnode[pnode]
+                if subject.version > max_version.get(pnode, -1):
+                    max_version[pnode] = subject.version
+            plist.append(record)
+            attr = record.attr
+            value = record.value
+            by_attr[attr].append(subject)
+            index_bytes += ATTR_INDEX_ENTRY_BYTES
+            if attr == name_attr and isinstance(value, str):
+                by_name[value].append(subject)
+                index_bytes += NAME_INDEX_BASE_BYTES + len(value)
+            if isinstance(value, ObjectRef):
+                by_xref[value].append((subject, attr))
+                index_bytes += XREF_INDEX_ENTRY_BYTES
+        self.record_count += len(records)
+        # Main-store size accounting is deferred: sizes are pure
+        # functions of the records, so the ``main_bytes`` read folds
+        # them in later instead of this loop paying per record.
+        self._unsized.extend(records)
+        self.index_bytes += index_bytes
+        if records:
+            if self._listeners:
+                for record in records:
+                    for listener in self._listeners:
+                        listener(record)
+            for listener in self._batch_listeners:
+                listener(records)
+        return len(records)
 
     # -- reads ---------------------------------------------------------------------
+
+    @property
+    def main_bytes(self) -> int:
+        """Encoded bytes of the main store.
+
+        Bulk drains defer per-record size accounting (the hot path adds
+        nothing); the first read folds the deferred records in, so the
+        value is always exact when observed.
+        """
+        pending = self._unsized
+        if pending:
+            sizer = codec.encoded_size
+            total = 0
+            for record in pending:
+                total += sizer(record)
+            self._main_bytes += total
+            self._unsized = []
+        return self._main_bytes
 
     def pnodes(self) -> list[int]:
         """Every pnode with at least one record."""

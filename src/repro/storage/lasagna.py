@@ -19,7 +19,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.core.errors import KernelError
-from repro.core.records import Attr, Bundle, ProvenanceRecord
+from repro.core.records import Attr, Bundle, ProvenanceRecord, RecordBatch
 from repro.kernel.params import SimParams
 from repro.kernel.vfs import Inode
 from repro.kernel.volume import Volume
@@ -50,7 +50,7 @@ class Lasagna:
         self._faults = faults
         self.log = ProvenanceLog(
             volume.clock, self.params.log, disk_write=self._log_disk_write,
-            faults=faults,
+            faults=faults, obs=obs, volume_name=volume.name,
         )
         volume.lasagna = self
         volume.fs_top = self
@@ -101,10 +101,20 @@ class Lasagna:
         self.volume.disk.clustered_write(nbytes, barrier=barrier)
 
     def append_provenance(self, bundle: Bundle) -> None:
-        """Buffer a bundle of records (flushed before dependent data)."""
+        """Buffer records ahead of dependent data.
+
+        Accepts a :class:`Bundle` (the per-record legacy path) or a
+        :class:`RecordBatch` (the batched ingest path, which defers
+        encoding and may group-commit inside ``append_batch``).
+        """
         cost = self.params.cpu.log_encode * len(bundle)
         if cost:
             self.volume.clock.advance(cost, "provenance_cpu")
+        if isinstance(bundle, RecordBatch):
+            self.obs.observe("lasagna", "batch_size", len(bundle),
+                             volume=self.volume.name)
+            self.log.append_batch(bundle.records)
+            return
         for record in bundle:
             self.log.append(record)
 

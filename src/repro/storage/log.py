@@ -25,9 +25,10 @@ import struct
 from typing import Callable, Optional
 
 from repro.core.pnode import ObjectRef
-from repro.core.records import Attr, ProvenanceRecord
+from repro.core.records import Attr, ProvenanceRecord, make_record
 from repro.kernel.clock import SimClock
 from repro.kernel.params import LogParams
+from repro.obs import NULL_OBS
 from repro.storage import codec
 
 _MD5_META = struct.Struct(">QI")      # offset, length preceding the digest
@@ -90,6 +91,11 @@ class LogSegment:
         self.raw.extend(encoded)
         self.records.append(record)
 
+    def append_batch(self, records: list, raw: bytes) -> None:
+        """Append one flushed group: pre-joined bytes plus its records."""
+        self.raw.extend(raw)
+        self.records.extend(records)
+
     def truncate_tail(self, nbytes: int) -> None:
         """Crash simulation: drop the last ``nbytes`` of raw log."""
         if nbytes <= 0:
@@ -104,7 +110,7 @@ class ProvenanceLog:
 
     def __init__(self, clock: SimClock, params: Optional[LogParams] = None,
                  disk_write: Optional[Callable[[int], None]] = None,
-                 faults=None):
+                 faults=None, obs=NULL_OBS, volume_name: str = "log"):
         self.clock = clock
         self.params = params or LogParams()
         #: Callable charging the disk for an append of N bytes; bound by
@@ -112,8 +118,18 @@ class ProvenanceLog:
         self._disk_write = disk_write or (lambda nbytes: None)
         #: Fault injector (repro.faults); None keeps flush() bare.
         self._faults = faults
-        self._buffer: list[tuple[ProvenanceRecord, bytes]] = []
+        self.obs = obs
+        self.volume_name = volume_name
+        #: Buffered records, not yet durable.  Each record is encoded
+        #: exactly once, at append time, through the memoized encoder;
+        #: the raw chunks wait in ``_buffer_raw`` so a flush is a single
+        #: join, and the running byte total -- the single source of
+        #: truth for how much disk the next flush pays for -- is the sum
+        #: of their lengths.
+        self._buffer: list[ProvenanceRecord] = []
+        self._buffer_raw: list[bytes] = []
         self._buffer_bytes = 0
+        self._encoder = codec.RecordEncoder()
         self._next_txn = 1
         self._segment_index = 0
         self.current = LogSegment(self._segment_index)
@@ -127,6 +143,8 @@ class ProvenanceLog:
         self.flushes = 0
         self.txns_opened = 0
         self.rotations = 0
+        self.batch_records = 0
+        self.batch_flushes = 0
 
     def obs_counters(self) -> dict:
         """WAP log totals, harvested by the observability layer (the
@@ -138,15 +156,47 @@ class ProvenanceLog:
             "txns_opened": self.txns_opened,
             "rotations": self.rotations,
             "buffered_records": len(self._buffer),
+            "batch_records": self.batch_records,
+            "batch_flushes": self.batch_flushes,
         }
 
     # -- buffering --------------------------------------------------------------
 
     def append(self, record: ProvenanceRecord) -> None:
         """Buffer one record (not yet durable)."""
-        encoded = codec.encode_record(record)
-        self._buffer.append((record, encoded))
-        self._buffer_bytes += len(encoded)
+        raw = self._encoder.encode(record)
+        self._buffer.append(record)
+        self._buffer_raw.append(raw)
+        self._buffer_bytes += len(raw)
+
+    def append_batch(self, records) -> None:
+        """Buffer a batch of records and group-commit past thresholds.
+
+        The batched ingest entry point: each record is encoded once,
+        here, and when the buffer crosses
+        ``LogParams.group_commit_records`` / ``group_commit_bytes`` the
+        whole group is flushed as one transaction.  A threshold flush is
+        strictly *earlier* than the next WAP ordering point (the data
+        write or sync that would have forced it), so group commit can
+        never weaken write-ahead provenance.
+        """
+        raws = self._encoder.encode_list(records)
+        buffer = self._buffer
+        buffer.extend(records)
+        self._buffer_raw.extend(raws)
+        size = self._buffer_bytes + sum(map(len, raws))
+        self._buffer_bytes = size
+        self.batch_records += len(raws)
+        params = self.params
+        if ((params.group_commit_records
+                and len(buffer) >= params.group_commit_records)
+                or (params.group_commit_bytes
+                    and size >= params.group_commit_bytes)):
+            self.batch_flushes += 1
+            with self.obs.span("log.group_commit", layer="lasagna",
+                               volume=self.volume_name) as span:
+                span.tag("records", len(buffer))
+                self.flush()
 
     @property
     def buffered_records(self) -> int:
@@ -174,16 +224,22 @@ class ProvenanceLog:
             # Crashing here loses the whole buffer: never durable.
             faults.fire("log.flush.pre", records=len(self._buffer))
         txn = self.next_txn_id()
-        subject = txn_subject or self._buffer[0][0].subject
-        frame_open = ProvenanceRecord(subject, Attr.BEGINTXN, txn)
-        frame_close = ProvenanceRecord(subject, Attr.ENDTXN, txn)
-        batch = [(frame_open, codec.encode_record(frame_open))]
-        batch.extend(self._buffer)
-        batch.append((frame_close, codec.encode_record(frame_close)))
+        subject = txn_subject or self._buffer[0].subject
+        frame_open = make_record(subject, Attr.BEGINTXN, txn)
+        frame_close = make_record(subject, Attr.ENDTXN, txn)
+        encode = self._encoder.encode
+        open_raw = encode(frame_open)
+        close_raw = encode(frame_close)
+        batch = [frame_open, *self._buffer, frame_close]
+        # One byte counter: the buffered payload was encoded (and sized)
+        # on append, so the disk charge is that counter plus the two
+        # frames, and the write itself is one join of the ready chunks.
+        nbytes = self._buffer_bytes + len(open_raw) + len(close_raw)
+        raw = b"".join([open_raw, *self._buffer_raw, close_raw])
         self._buffer = []
+        self._buffer_raw = []
         self._buffer_bytes = 0
 
-        nbytes = sum(len(encoded) for _, encoded in batch)
         self._disk_write(nbytes)
         if faults is not None:
             action = faults.fire("log.flush.append", nbytes=nbytes, txn=txn)
@@ -191,8 +247,7 @@ class ProvenanceLog:
                 # The batch reached the disk queue; a mid-sector crash
                 # tears its tail off, cutting into the ENDTXN record so
                 # recovery sees an orphaned transaction.
-                for record, encoded in batch:
-                    self.current.append(record, encoded)
+                self.current.append_batch(batch, raw)
                 tear = max(1, min(nbytes - 1, int(nbytes * action.param)))
                 self.current.truncate_tail(tear)
                 from repro.faults import CrashFault
@@ -200,8 +255,7 @@ class ProvenanceLog:
                     f"torn log append: {tear} of {nbytes} bytes lost "
                     f"(txn {txn})", site=action.site, hit=action.hit,
                     torn_bytes=tear))
-        for record, encoded in batch:
-            self.current.append(record, encoded)
+        self.current.append_batch(batch, raw)
         self.records_logged += len(batch)
         self.bytes_logged += nbytes
         self.flushes += 1
@@ -251,6 +305,7 @@ class ProvenanceLog:
         """
         lost = len(self._buffer)
         self._buffer = []
+        self._buffer_raw = []
         self._buffer_bytes = 0
         if drop_tail_bytes:
             self.current.truncate_tail(drop_tail_bytes)
@@ -269,4 +324,5 @@ class ProvenanceLog:
         self._segment_index += 1
         self.current = LogSegment(self._segment_index)
         self._buffer = []
+        self._buffer_raw = []
         self._buffer_bytes = 0

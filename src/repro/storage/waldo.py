@@ -27,11 +27,16 @@ class Waldo:
 
     def __init__(self, log: ProvenanceLog,
                  database: Optional[ProvenanceDatabase] = None,
-                 name: str = "waldo", obs=NULL_OBS, faults=None):
+                 name: str = "waldo", obs=NULL_OBS, faults=None,
+                 batching: bool = True):
         self.log = log
         self.database = database or ProvenanceDatabase(name)
         self.name = name
         self.obs = obs
+        #: Bulk drain: each segment's committed records reach the
+        #: database as one ``insert_many`` call (off = per-record
+        #: inserts, the legacy arm of the ingest benchmark).
+        self.batching = batching
         #: Fault injector (repro.faults); None keeps drain() bare.
         self._faults = faults
         #: Records discarded because their transaction never committed.
@@ -92,8 +97,15 @@ class Waldo:
         return inserted
 
     def _process(self, segment: LogSegment) -> int:
-        """Insert a segment's committed transactions into the database."""
-        inserted = 0
+        """Insert a segment's committed transactions into the database.
+
+        The transaction walk first accumulates every record that is
+        allowed into the database -- committed batches at their ENDTXN
+        position, unframed records in place -- so insertion order is
+        identical on both paths; the bulk path then makes it one
+        ``insert_many`` call per segment.
+        """
+        ready: list[ProvenanceRecord] = []
         open_txns: dict[int, list[ProvenanceRecord]] = {}
         current_txn: Optional[int] = None
         for record in segment.records:
@@ -103,21 +115,29 @@ class Waldo:
                 continue
             if record.attr == Attr.ENDTXN:
                 txn = int(record.value)
-                batch = open_txns.pop(txn, [])
-                self.database.insert_many(batch)
-                inserted += len(batch)
+                ready.extend(open_txns.pop(txn, ()))
                 if current_txn == txn:
                     current_txn = None
                 continue
             if current_txn is not None:
                 open_txns[current_txn].append(record)
             else:
-                # Unframed record (legacy path): insert directly.
-                self.database.insert(record)
-                inserted += 1
+                # Unframed record (legacy path): straight in.
+                ready.append(record)
         for batch in open_txns.values():
             self.orphaned.extend(batch)
-        return inserted
+        if not ready:
+            return 0
+        if self.batching:
+            with self.obs.span("waldo.drain_batch", layer="waldo",
+                               volume=self.name) as span:
+                span.tag("records", len(ready))
+                self.database.insert_many(ready)
+        else:
+            insert = self.database.insert
+            for record in ready:
+                insert(record)
+        return len(ready)
 
     # -- crash simulation --------------------------------------------------------------
 

@@ -57,6 +57,11 @@ class BootConfig:
     observability: bool = True
     tracing: bool = False
     faults: object = None
+    #: Batched ingest path (observer event batches, analyzer
+    #: submit_batch, log group commit, bulk Waldo drain).  ``False``
+    #: boots the per-record legacy pipeline *and* zeroes the log's
+    #: group-commit thresholds -- the ingest benchmark's baseline arm.
+    batching: bool = True
 
     def with_overrides(self, **overrides) -> "BootConfig":
         """A copy with every non-``_UNSET`` override applied."""
@@ -91,6 +96,7 @@ class System:
              observability=_UNSET,
              tracing=_UNSET,
              faults=_UNSET,
+             batching=_UNSET,
              config: Optional[BootConfig] = None) -> "System":
         """Boot a machine from a :class:`BootConfig`.
 
@@ -118,10 +124,19 @@ class System:
             params=params, pass_volumes=pass_volumes,
             plain_volumes=plain_volumes, provenance=provenance,
             hostname=hostname, clock=clock, observability=observability,
-            tracing=tracing, faults=faults)
+            tracing=tracing, faults=faults, batching=batching)
+        sim_params = cfg.params or SimParams()
+        if not cfg.batching:
+            # The unbatched arm must not group-commit either: zeroed
+            # thresholds make every flush an explicit ordering point,
+            # exactly the pre-batching pipeline.
+            sim_params = dataclasses.replace(
+                sim_params, log=dataclasses.replace(
+                    sim_params.log, group_commit_records=0,
+                    group_commit_bytes=0))
         obs = Observability(metrics_enabled=cfg.observability,
                             trace_enabled=cfg.tracing)
-        kernel = Kernel(cfg.params, hostname=cfg.hostname, clock=cfg.clock,
+        kernel = Kernel(sim_params, hostname=cfg.hostname, clock=cfg.clock,
                         obs=obs, faults=cfg.faults)
         if cfg.faults is not None:
             cfg.faults.bind_obs(obs)
@@ -132,11 +147,12 @@ class System:
                 lasagna = Lasagna(volume, kernel.params, obs=kernel.obs,
                                   faults=cfg.faults)
                 waldos[name] = Waldo(lasagna.log, name=name, obs=kernel.obs,
-                                     faults=cfg.faults)
+                                     faults=cfg.faults,
+                                     batching=cfg.batching)
         for name in cfg.plain_volumes:
             kernel.add_volume(name, f"/{name}", pass_capable=False)
         if cfg.provenance:
-            kernel.enable_provenance()
+            kernel.enable_provenance(batching=cfg.batching)
             kernel.cache.shrink(kernel.params.cache.stack_cache_factor)
         return cls(kernel, waldos, cfg.provenance)
 

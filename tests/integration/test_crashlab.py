@@ -108,6 +108,37 @@ class TestLiveEngineAcrossCrash:
         assert system.query_engine() is engine
 
 
+class TestGroupCommitCrashCoverage:
+    """Satellite: with group commit enabled (the default boot), the
+    explorer reaches crash points at ``log.flush.pre`` and the Waldo
+    drain, and every replay still recovers with zero WAP violations."""
+
+    def test_default_boot_has_batching_and_group_commit(self):
+        from repro.crashlab.workloads import BOOT
+        assert BOOT.batching is True
+
+    def test_churn_actually_group_commits(self):
+        """The churn workload's disclosure burst crosses the threshold,
+        so the crash points below really sit inside group commits."""
+        from repro.crashlab.workloads import BOOT, churn
+        from repro.system import System
+
+        system = System.boot(config=BOOT)
+        churn(system)
+        log = system.kernel.volume("pass").lasagna.log
+        assert log.batch_flushes > 0
+        assert log.batch_records > 0
+
+    def test_flush_and_drain_sites_covered_with_zero_violations(self):
+        report = explore(workloads=["churn"], seed=0)
+        hits = report.site_hits["churn"]
+        assert hits.get("log.flush.pre", 0) > 0
+        assert hits.get("waldo.drain.segment", 0) > 0
+        assert report.wap_violation_count == 0
+        assert report.non_idempotent == 0
+        assert report.ok
+
+
 class TestCrashtestCli:
     def test_json_mode_emits_the_report(self, capsys):
         code = cli.main(["crashtest", "--workload", "quickstart", "--json"])

@@ -64,3 +64,113 @@ def test_garbage_tail_still_yields_prefix(batch, garbage):
     # Either the garbage parses as extra records (unlikely but legal)
     # or decoding stops; the original prefix is always intact.
     assert decoded[:len(batch)] == batch
+
+
+# -- exhaustive damage sweep -------------------------------------------------------
+
+#: One record per value tag (TAG_INT .. TAG_REF), plus a non-ASCII
+#: attribute and string so the multi-byte UTF-8 paths are in the sweep.
+ALL_TAG_RECORDS = [
+    ProvenanceRecord(ObjectRef(1, 0), "int", -(1 << 62)),
+    ProvenanceRecord(ObjectRef(2, 1), "float", 2.5),
+    ProvenanceRecord(ObjectRef(3, 2), "str", "héllo"),
+    ProvenanceRecord(ObjectRef(4, 3), "bytes", b"\x00\xff\x80"),
+    ProvenanceRecord(ObjectRef(5, 4), "bool", True),
+    ProvenanceRecord(ObjectRef(6, 5), "réf", ObjectRef(7, 9)),
+]
+
+
+def test_all_tags_roundtrip():
+    """Every TAG_* type round-trips with value type preserved."""
+    tags = set()
+    for record in ALL_TAG_RECORDS:
+        raw = codec.encode_record(record)
+        tags.add(raw[codec.encoded_size(record) - len(
+            codec.encode_value(record.value))])
+        decoded, offset = codec.decode_record(raw)
+        assert decoded == record
+        assert type(decoded.value) is type(record.value)
+        assert offset == len(raw) == codec.encoded_size(record)
+    assert tags == {codec.TAG_INT, codec.TAG_FLOAT, codec.TAG_STR,
+                    codec.TAG_BYTES, codec.TAG_BOOL, codec.TAG_REF}
+
+
+def test_truncation_at_every_byte_offset():
+    """Cutting the stream at *any* offset yields a clean record prefix:
+    recovery stops at the damage, it never raises."""
+    buf = b"".join(codec.encode_record(r) for r in ALL_TAG_RECORDS)
+    ends = []
+    offset = 0
+    for record in ALL_TAG_RECORDS:
+        offset += codec.encoded_size(record)
+        ends.append(offset)
+    for cut in range(len(buf) + 1):
+        decoded = list(codec.decode_stream(buf[:cut]))
+        whole = sum(1 for end in ends if end <= cut)
+        # Every record fully inside the cut survives; nothing invented.
+        assert decoded[:whole] == ALL_TAG_RECORDS[:whole]
+        assert len(decoded) <= len(ALL_TAG_RECORDS)
+
+
+def test_corruption_at_every_byte_offset():
+    """Flipping any single byte never raises out of decode_stream, and
+    records before the first damaged one always survive intact."""
+    buf = b"".join(codec.encode_record(r) for r in ALL_TAG_RECORDS)
+    for position in range(len(buf)):
+        for flip in (0xFF, 0x01, 0x80):
+            damaged = bytearray(buf)
+            damaged[position] ^= flip
+            if damaged[position] == buf[position]:
+                continue
+            decoded = list(codec.decode_stream(bytes(damaged)))
+            intact = 0
+            offset = 0
+            for record in ALL_TAG_RECORDS:
+                offset += codec.encoded_size(record)
+                if offset > position:
+                    break
+                intact += 1
+            assert decoded[:intact] == ALL_TAG_RECORDS[:intact]
+
+
+# -- memoizing encoder equivalence --------------------------------------------------
+
+def _with_shared_instances(batch):
+    """Rewrite a batch so equal subjects/attrs share one instance --
+    the run-memo shape real pipeline batches have."""
+    subjects: dict = {}
+    attrs: dict = {}
+    return [
+        ProvenanceRecord(subjects.setdefault(r.subject, r.subject),
+                         attrs.setdefault(r.attr, r.attr), r.value)
+        for r in batch
+    ]
+
+
+@given(st.lists(records, max_size=40))
+@settings(max_examples=200)
+def test_record_encoder_matches_encode_record(batch):
+    """RecordEncoder.encode is byte-identical to encode_record across
+    arbitrary interleavings (memo hits, misses, and runs)."""
+    encoder = codec.RecordEncoder()
+    batch = _with_shared_instances(batch)
+    for record in batch + batch:      # replay: all-hit second pass
+        assert encoder.encode(record) == codec.encode_record(record)
+
+
+@given(st.lists(records, max_size=40))
+@settings(max_examples=200)
+def test_encode_list_and_batch_match_per_record_path(batch):
+    batch = _with_shared_instances(batch)
+    expected = [codec.encode_record(record) for record in batch]
+    encoder = codec.RecordEncoder()
+    assert encoder.encode_list(batch) == expected
+    # The run memo carries across calls; a replay must stay identical.
+    assert encoder.encode_list(batch) == expected
+    assert codec.RecordEncoder().encode_batch(batch) == b"".join(expected)
+
+
+@given(records)
+@settings(max_examples=500)
+def test_encoded_size_equals_encoded_length(record):
+    assert codec.encoded_size(record) == len(codec.encode_record(record))

@@ -1,0 +1,366 @@
+"""Unit tests for the batched ingest path, stage by stage.
+
+Each batched entry point -- ``Analyzer.submit_batch``,
+``Distributor.flush_batch``, ``ProvenanceLog.append_batch``,
+``ProvenanceDatabase.insert_many`` / ``subscribe_batch``, and
+``OEMGraph.apply_batch`` -- must be observationally equivalent to its
+per-record twin: same records, same order, same counters where the
+counters mean the same thing.  The end-to-end property lives in
+``tests/properties/test_batch_equivalence.py``; these tests pin the
+stage-local contracts (validation, thresholds, framing, laziness).
+"""
+
+import pytest
+
+from repro.core.analyzer import Analyzer, ProtoRecord
+from repro.core.distributor import Distributor
+from repro.core.errors import InvalidRecord
+from repro.core.pnode import ObjectRef, make_pnode
+from repro.core.records import Attr, ProvenanceRecord, RecordBatch
+from repro.kernel.clock import SimClock
+from repro.kernel.params import LogParams
+from repro.storage import codec
+from repro.storage.database import ProvenanceDatabase
+from repro.storage.log import ProvenanceLog
+
+
+class FakeObject:
+    """Minimal freezable analyzer subject."""
+
+    def __init__(self, pnode):
+        self.pnode = pnode
+        self.version = 0
+
+    def ref(self):
+        return ObjectRef(self.pnode, self.version)
+
+
+def rec(pnode=1, version=0, attr=Attr.NAME, value="x"):
+    return ProvenanceRecord(ObjectRef(pnode, version), attr, value)
+
+
+# -- analyzer ---------------------------------------------------------------------
+
+
+def batch_analyzer():
+    batches = []
+    singles = []
+    analyzer = Analyzer(emit=singles.append, emit_batch=batches.append)
+    return analyzer, batches, singles
+
+
+class TestSubmitBatch:
+    def test_matches_per_record_path_exactly(self):
+        """Same protos through submit() and submit_batch() produce the
+        same records in the same order with the same counters."""
+        def protos(proc, file_):
+            return [
+                ProtoRecord(proc, Attr.NAME, "churner"),
+                ProtoRecord(proc, Attr.INPUT, file_.ref()),
+                ProtoRecord(proc, Attr.INPUT, file_.ref()),   # duplicate
+                ProtoRecord(file_, Attr.ANNOTATION, "a"),
+                ProtoRecord(file_, Attr.ANNOTATION, "b"),
+                # Self-dependency: forces a freeze, whose PREV_VERSION
+                # record must land at this position in the stream.
+                ProtoRecord(file_, Attr.INPUT, file_.ref()),
+            ]
+
+        legacy, legacy_out = [], []
+        reference = Analyzer(emit=legacy_out.append)
+        reference.submit_many(protos(FakeObject(1), FakeObject(2)))
+
+        analyzer, batches, singles = batch_analyzer()
+        emitted = analyzer.submit_batch(protos(FakeObject(1), FakeObject(2)))
+
+        assert not singles
+        assert len(batches) == 1 and isinstance(batches[0], RecordBatch)
+        assert list(batches[0]) == legacy_out
+        assert emitted == len(legacy_out)
+        assert analyzer.records_in == reference.records_in
+        assert analyzer.records_out == reference.records_out
+        assert analyzer.duplicates_dropped == reference.duplicates_dropped
+        assert analyzer.freezes == reference.freezes == 1
+
+    def test_falls_back_to_per_record_emit_without_batch_sink(self):
+        out = []
+        analyzer = Analyzer(emit=out.append)
+        analyzer.submit_batch([ProtoRecord(FakeObject(1), Attr.NAME, "n")])
+        assert [r.attr for r in out] == [Attr.NAME]
+
+    def test_hot_triple_lru_drops_cross_batch_duplicates(self):
+        analyzer, batches, _ = batch_analyzer()
+        file_ = FakeObject(2)
+        for _ in range(4):
+            # One-record batches: every record sits at a run boundary,
+            # so the LRU (not the run cache) must classify the repeats.
+            analyzer.submit_batch([ProtoRecord(file_, Attr.TYPE, "file")])
+        assert sum(len(list(b)) for b in batches) == 1
+        assert analyzer.duplicates_dropped == 3
+
+    def test_dedup_disabled_keeps_duplicates(self):
+        analyzer, batches, _ = batch_analyzer()
+        analyzer.dedup_enabled = False
+        file_ = FakeObject(2)
+        analyzer.submit_batch(
+            [ProtoRecord(file_, Attr.TYPE, "file")] * 3)
+        assert sum(len(list(b)) for b in batches) == 3
+        assert analyzer.duplicates_dropped == 0
+
+    def test_invalid_value_type_raises(self):
+        analyzer, _, _ = batch_analyzer()
+        with pytest.raises(InvalidRecord):
+            analyzer.submit_batch(
+                [ProtoRecord(FakeObject(1), Attr.NAME, ["not", "a", "value"])])
+
+    def test_empty_attr_raises(self):
+        analyzer, _, _ = batch_analyzer()
+        with pytest.raises(InvalidRecord):
+            analyzer.submit_batch([ProtoRecord(FakeObject(1), "", "x")])
+
+    def test_finalized_records_pass_through_in_order(self):
+        analyzer, batches, _ = batch_analyzer()
+        file_ = FakeObject(2)
+        finalized = rec(pnode=9, attr=Attr.TYPE, value="wire")
+        analyzer.submit_batch([
+            ProtoRecord(file_, Attr.NAME, "local"),
+            finalized,
+            ProtoRecord(file_, Attr.ANNOTATION, "after"),
+        ])
+        assert [r.attr for r in batches[0]] == [Attr.NAME, Attr.TYPE,
+                                                Attr.ANNOTATION]
+
+
+# -- distributor ------------------------------------------------------------------
+
+
+PASS_VOL_ID = 3
+VOLUME_NAMES = {PASS_VOL_ID: "pass"}
+
+
+def make_distributor():
+    sunk = []
+    dist = Distributor(lambda volume, bundle: sunk.append((volume, bundle)),
+                       lambda vid: VOLUME_NAMES[vid],
+                       default_volume="pass")
+    return dist, sunk
+
+
+def persistent_ref(local=1, version=0):
+    return ObjectRef(make_pnode(PASS_VOL_ID, local), version)
+
+
+def transient_ref(local=1, version=0):
+    return ObjectRef(make_pnode(0, local), version)
+
+
+class TestFlushBatch:
+    def test_one_bundle_per_volume(self):
+        dist, sunk = make_distributor()
+        batch = RecordBatch([
+            ProvenanceRecord(persistent_ref(1), Attr.NAME, "a"),
+            ProvenanceRecord(persistent_ref(1), Attr.TYPE, "file"),
+            ProvenanceRecord(persistent_ref(2), Attr.NAME, "b"),
+        ])
+        dist.flush_batch(batch)
+        assert len(sunk) == 1
+        volume, bundle = sunk[0]
+        assert volume == "pass"
+        assert [r.attr for r in bundle] == [Attr.NAME, Attr.TYPE, Attr.NAME]
+        assert dist.records_flushed == 3
+        assert dist.batches_dispatched == 1
+
+    def test_transient_subjects_cached_not_flushed(self):
+        dist, sunk = make_distributor()
+        dist.flush_batch(RecordBatch([
+            ProvenanceRecord(transient_ref(7), Attr.NAME, "proc"),
+        ]))
+        assert sunk == []
+        assert dist.records_cached == 1
+
+    def test_ancestor_cache_flushes_before_descendant(self):
+        """A persistent record referencing a cached transient flushes the
+        transient's records first -- WAP inside one batch."""
+        dist, sunk = make_distributor()
+        parent = transient_ref(7)
+        dist.flush_batch(RecordBatch([
+            ProvenanceRecord(parent, Attr.NAME, "proc"),
+        ]))
+        dist.flush_batch(RecordBatch([
+            ProvenanceRecord(persistent_ref(1), Attr.INPUT, parent),
+        ]))
+        flat = [(volume, record) for volume, bundle in sunk
+                for record in bundle]
+        assert [r.attr for _, r in flat] == [Attr.NAME, Attr.INPUT]
+
+    def test_same_run_after_assignment_routes_to_volume(self):
+        """Follow-on records of an assigned transient leave with the
+        batch even when the subject run spans the assignment."""
+        dist, sunk = make_distributor()
+        parent = transient_ref(7)
+        dist.flush_batch(RecordBatch([
+            ProvenanceRecord(parent, Attr.NAME, "proc"),
+        ]))
+        dist.flush(parent.pnode, "pass")
+        sunk.clear()
+        dist.flush_batch(RecordBatch([
+            ProvenanceRecord(parent, Attr.ANNOTATION, "late"),
+        ]))
+        assert len(sunk) == 1
+        assert sunk[0][0] == "pass"
+
+
+# -- provenance log ---------------------------------------------------------------
+
+
+def make_log(**params):
+    clock = SimClock()
+    written = []
+    log = ProvenanceLog(clock, LogParams(**params),
+                        disk_write=written.append)
+    return log, written
+
+
+class TestAppendBatch:
+    def test_below_thresholds_stays_buffered(self):
+        log, written = make_log(group_commit_records=10,
+                                group_commit_bytes=1 << 20)
+        log.append_batch([rec(value=f"v{i}") for i in range(9)])
+        assert written == []
+        assert log.buffered_records == 9
+        assert log.batch_records == 9
+        assert log.batch_flushes == 0
+
+    def test_record_threshold_group_commits_once(self):
+        log, written = make_log(group_commit_records=8,
+                                group_commit_bytes=0)
+        log.append_batch([rec(value=f"v{i}") for i in range(8)])
+        assert log.batch_flushes == 1
+        assert log.buffered_records == 0
+        assert len(written) == 1
+        # One transaction frames the whole group.
+        attrs = [r.attr for r in log.current.records]
+        assert attrs[0] == Attr.BEGINTXN and attrs[-1] == Attr.ENDTXN
+        assert attrs.count(Attr.BEGINTXN) == 1
+
+    def test_byte_threshold_group_commits(self):
+        log, written = make_log(group_commit_records=0,
+                                group_commit_bytes=64)
+        log.append_batch([rec(value="x" * 200)])
+        assert log.batch_flushes == 1
+        assert written and written[0] >= 200
+
+    def test_zeroed_thresholds_disable_group_commit(self):
+        log, written = make_log(group_commit_records=0,
+                                group_commit_bytes=0)
+        log.append_batch([rec(value=f"v{i}") for i in range(5000)])
+        assert written == []
+        assert log.batch_flushes == 0
+
+    def test_batched_bytes_match_per_record_path(self):
+        """append_batch + flush writes byte-identical log content (and
+        charges identical disk bytes) to append-per-record + flush."""
+        records = [rec(value=f"v{i}", attr=a)
+                   for i in range(40)
+                   for a in (Attr.NAME, Attr.ANNOTATION)]
+        one, written_one = make_log()
+        for record in records:
+            one.append(record)
+        one.flush()
+        many, written_many = make_log()
+        many.append_batch(records)
+        many.flush()
+        assert bytes(one.current.raw) == bytes(many.current.raw)
+        assert written_one == written_many
+        assert one.bytes_logged == many.bytes_logged == len(one.current.raw)
+
+    def test_flush_charges_exactly_the_appended_bytes(self):
+        """Satellite: one byte counter -- the disk charge equals the
+        encoded buffer plus framing, with no re-encoding pass."""
+        log, written = make_log()
+        records = [rec(value=f"value-{i}") for i in range(10)]
+        for record in records:
+            log.append(record)
+        log.flush()
+        assert written == [len(log.current.raw)]
+
+
+# -- database ---------------------------------------------------------------------
+
+
+class TestInsertMany:
+    def records(self):
+        subject_a = ObjectRef(1, 0)
+        subject_b = ObjectRef(2, 3)
+        return [
+            ProvenanceRecord(subject_a, Attr.NAME, "/pass/a"),
+            ProvenanceRecord(subject_a, Attr.INPUT, subject_b),
+            ProvenanceRecord(subject_b, Attr.NAME, "/pass/b"),
+            ProvenanceRecord(subject_b, Attr.ANNOTATION, "x"),
+            ProvenanceRecord(ObjectRef(1, 2), Attr.TYPE, "file"),
+        ]
+
+    def test_matches_per_record_inserts(self):
+        loop, bulk = ProvenanceDatabase("loop"), ProvenanceDatabase("bulk")
+        for record in self.records():
+            loop.insert(record)
+        bulk.insert_many(self.records())
+        assert list(loop.all_records()) == list(bulk.all_records())
+        assert loop.sizes() == bulk.sizes()
+        assert loop.record_count == bulk.record_count
+        for pnode in (1, 2):
+            assert loop.max_version(pnode) == bulk.max_version(pnode)
+        assert (loop.subjects_with_attr(Attr.NAME)
+                == bulk.subjects_with_attr(Attr.NAME))
+        assert loop.find_by_name("/pass/a") == bulk.find_by_name("/pass/a")
+        assert (loop.referencing(ObjectRef(2, 3))
+                == bulk.referencing(ObjectRef(2, 3)))
+
+    def test_main_bytes_accounting_is_lazy_but_exact(self):
+        database = ProvenanceDatabase()
+        records = self.records()
+        database.insert_many(records)
+        assert database._unsized          # deferred until first read
+        expected = sum(codec.encoded_size(record) for record in records)
+        assert database.main_bytes == expected
+        assert not database._unsized      # folded exactly once
+        assert database.main_bytes == expected
+
+    def test_per_record_listeners_replay_in_order(self):
+        database = ProvenanceDatabase()
+        seen = []
+        database.subscribe(seen.append)
+        database.insert_many(self.records())
+        assert seen == self.records()
+
+    def test_batch_listener_sees_each_record_once_via_both_paths(self):
+        database = ProvenanceDatabase()
+        groups = []
+        database.subscribe_batch(lambda batch: groups.append(list(batch)))
+        records = self.records()
+        database.insert_many(records[:3])
+        database.insert(records[3])
+        assert [len(g) for g in groups] == [3, 1]
+        assert [r for g in groups for r in g] == records[:4]
+
+
+# -- OEM graph --------------------------------------------------------------------
+
+
+class TestApplyBatch:
+    def test_matches_per_record_apply(self):
+        from repro.pql.oem import OEMGraph
+        from tests.conftest import graph_fingerprint
+
+        records = [
+            ProvenanceRecord(ObjectRef(1, 0), Attr.TYPE, "file"),
+            ProvenanceRecord(ObjectRef(1, 0), Attr.NAME, "/pass/a"),
+            ProvenanceRecord(ObjectRef(2, 0), Attr.TYPE, "process"),
+            ProvenanceRecord(ObjectRef(1, 0), Attr.INPUT, ObjectRef(2, 0)),
+            ProvenanceRecord(ObjectRef(2, 0), Attr.ANNOTATION, "note"),
+        ]
+        one = OEMGraph()
+        for record in records:
+            one.apply(record)
+        many = OEMGraph()
+        assert many.apply_batch(records) == len(records)
+        assert graph_fingerprint(one) == graph_fingerprint(many)

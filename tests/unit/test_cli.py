@@ -88,6 +88,36 @@ class TestOtherCommands:
         for layer in LAYERS:
             assert layer in workload["layers"]
 
+    def test_bench_suite_quick_merges_results(self, tmp_path, capsys):
+        target = tmp_path / "BENCH_results.json"
+        assert main(["bench", "--suite", "all", "--quick",
+                     "--out", str(target)]) == 0
+        document = json.loads(target.read_text())
+        assert document["schema"] == "repro-bench-suite/1"
+        suites = document["suites"]
+        assert suites["ingest"]["schema"] == "repro-bench-ingest/1"
+        assert (suites["incremental_query"]["schema"]
+                == "repro-bench-incremental/1")
+        for payload in suites.values():
+            assert payload["records_total"] > 0
+            assert payload["speedup"] > 0
+
+    def test_bench_suite_merge_preserves_legacy_payload(self, tmp_path,
+                                                        capsys):
+        """A pre-suite BENCH_results.json is wrapped, not clobbered."""
+        target = tmp_path / "BENCH_results.json"
+        assert main(["bench", "--scale", "0.02", "--out", str(target)]) == 0
+        assert main(["bench", "--suite", "ingest", "--quick",
+                     "--out", str(target)]) == 0
+        document = json.loads(target.read_text())
+        assert document["schema"] == "repro-bench-suite/1"
+        assert document["suites"]["workloads"]["schema"] == BENCH_SCHEMA
+        assert "Linux Compile" in document["suites"]["workloads"]["workloads"]
+        assert document["suites"]["ingest"]["schema"] == "repro-bench-ingest/1"
+
+    def test_bench_suite_unknown_name_errors(self, capsys):
+        assert main(["bench", "--suite", "nope", "--out", "-"]) == 2
+
     def test_stats_text(self, capsys):
         assert main(["stats"]) == 0
         out = capsys.readouterr().out
