@@ -110,8 +110,8 @@ def vignette_branching(server_sys, server, clients):
     bob_shell.write(fd_b, b"bob's edits")
     alice_shell.close(fd_a)
     bob_shell.close(fd_b)
-    alice_sys.kernel._reap(alice_shell.proc, 0)
-    bob_sys.kernel._reap(bob_shell.proc, 0)
+    alice_sys.kernel.reap(alice_shell.proc, 0)
+    bob_sys.kernel.reap(bob_shell.proc, 0)
     alice.sync()
     bob.sync()
     server_sys.sync()

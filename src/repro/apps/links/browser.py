@@ -56,12 +56,7 @@ class Browser:
             sc.mkdir(cache_dir)
 
     def _detect_dpapi(self) -> bool:
-        from repro.core.errors import ProvenanceError
-        try:
-            self.sc.dpapi._observer()
-            return True
-        except ProvenanceError:
-            return False
+        return self.sc.dpapi.available()
 
     @property
     def dpapi(self):

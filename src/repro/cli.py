@@ -194,8 +194,11 @@ def cmd_lint(args: argparse.Namespace) -> int:
     from repro.lint import (
         LintReport,
         all_rules,
+        analyze_tree,
+        build_program,
         check_query_text,
-        check_tree,
+        graph_payload,
+        render_graph_dot,
         render_json,
         render_text,
     )
@@ -204,6 +207,31 @@ def cmd_lint(args: argparse.Namespace) -> int:
         for registered in all_rules():
             print(f"{registered.code}  {registered.severity:7s} "
                   f"{registered.title}")
+        return 0
+
+    if args.graph:
+        targets = [t for t in args.targets
+                   if os.path.isdir(t) or t.endswith(".py")]
+        if not targets:
+            print("lint: --graph needs a directory (or .py) target",
+                  file=sys.stderr)
+            return 2
+        for target in targets:
+            if not os.path.exists(target):
+                print(f"lint: no such file or directory: {target!r}",
+                      file=sys.stderr)
+                return 2
+            program = build_program(target)
+            # The flow pass populates the call/attr edges the import
+            # scan alone cannot see.
+            from repro.lint.flowcheck import check_program
+            check_program(program)
+            if args.graph == "json":
+                import json as _json
+                print(_json.dumps(graph_payload(program), indent=2,
+                                  sort_keys=True))
+            else:
+                print(render_graph_dot(program), end="")
         return 0
 
     report = LintReport()
@@ -220,7 +248,7 @@ def cmd_lint(args: argparse.Namespace) -> int:
                 report.extend(check_query_text(handle.read(),
                                                source=target))
         elif os.path.isdir(target) or target.endswith(".py"):
-            report.extend(check_tree(target))
+            report.extend(analyze_tree(target))
         else:
             print(f"lint: skipping {target!r} (not a directory, .py, or "
                   ".pql file)", file=sys.stderr)
@@ -350,7 +378,9 @@ def _run_bench_suites(args: argparse.Namespace) -> int:
     for name in names:
         module_name, full, quick = BENCH_SUITES[name]
         kwargs = quick if args.quick else full
-        payload = importlib.import_module(module_name).run(**kwargs)
+        # Targets come from the static BENCH_SUITES registry above --
+        # never repro-internal modules, never user input.
+        payload = importlib.import_module(module_name).run(**kwargs)  # lint: disable=PL305
         print(f"{name}: {payload['records_total']} records, "
               f"{payload['speedup']:.1f}x speedup")
         if args.out != "-":
@@ -497,6 +527,9 @@ def main(argv: list[str] | None = None) -> int:
                       help="exit nonzero on warnings too")
     lint.add_argument("--rules", action="store_true",
                       help="list every registered PL### rule and exit")
+    lint.add_argument("--graph", choices=("dot", "json"),
+                      help="export the layer call graph instead of "
+                           "diagnostics")
     lint.set_defaults(func=cmd_lint)
 
     bench = sub.add_parser(

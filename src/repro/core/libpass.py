@@ -41,6 +41,16 @@ class LibPass:
             )
         return observer
 
+    def available(self) -> bool:
+        """Is the DPAPI live -- provenance collection enabled on this
+        kernel?  Applications probe this to degrade gracefully on
+        non-PASS systems."""
+        try:
+            self._observer()
+        except ProvenanceError:
+            return False
+        return True
+
     def _charge(self) -> None:
         self.kernel.clock.advance(self.kernel.params.cpu.syscall,
                                   "syscall_cpu")

@@ -117,6 +117,20 @@ class Observer:
         self._identify_inode(inode, path, protos)
         self._flush_event(protos)
 
+    def identify_named(self, inode: Inode, path: Optional[str],
+                       name: str) -> None:
+        """Identity plus a NAME refresh in one event batch.
+
+        The rename and link syscalls bind a (possibly already
+        identified) inode to a new path; first-contact identity and the
+        new NAME must land in the same event so ancestry closure never
+        sees a nameless subject.
+        """
+        protos: list = []
+        self._identify_inode(inode, path, protos)
+        protos.append(ProtoRecord(inode, Attr.NAME, name))
+        self.submit_protos(protos)
+
     def _identify_inode(self, inode: Inode, path: Optional[str],
                         protos: list) -> None:
         """Collect a file's first-contact identity into the event batch."""
@@ -326,6 +340,14 @@ class Observer:
         self._passobjs[obj.pnode] = obj
         if volume_hint is not None:
             self.distributor.set_hint(obj.pnode, volume_hint)
+        return obj
+
+    def adopt_passobj(self, obj: PassObject) -> PassObject:
+        """Track an externally minted DPAPI object (e.g. a pnode
+        allocated at a PA-NFS server) exactly as if ``mkobj`` had
+        created it here: registered with the analyzer and revivable."""
+        self.analyzer.register(obj)
+        self._passobjs[obj.pnode] = obj
         return obj
 
     def reviveobj(self, pnode: int, version: int) -> PassObject:

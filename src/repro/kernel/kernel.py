@@ -258,7 +258,7 @@ class Kernel:
                 while True:
                     next(gen)
             except StopIteration as stop:
-                self._reap(proc, stop.value)
+                self.reap(proc, stop.value)
         return proc
 
     def start(self, path: str, argv: Optional[list[str]] = None,
@@ -285,7 +285,7 @@ class Kernel:
             try:
                 next(gen)
             except StopIteration as stop:
-                self._reap(proc, stop.value)
+                self.reap(proc, stop.value)
             else:
                 self._scheduled.append((proc, gen))
 
@@ -323,10 +323,15 @@ class Kernel:
         result = program(Syscalls(self, proc))
         if hasattr(result, "__next__"):
             return proc, result
-        self._reap(proc, result)
+        self.reap(proc, result)
         return proc, None
 
-    def _reap(self, proc: Process, result) -> None:
+    def reap(self, proc: Process, result) -> None:
+        """Retire a finished process: exit provenance, fd close, cleanup.
+
+        Public because the facade (and generator-driven shells) finish
+        processes whose programs ran to completion elsewhere.
+        """
         proc.exit_code = int(result) if isinstance(result, int) else 0
         proc.alive = False
         observer = self.interceptor.event("exit")

@@ -13,6 +13,7 @@ concurrent read/write cycles of section 5.4).
 
 from __future__ import annotations
 
+import itertools
 from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.core.errors import BadFileDescriptor, KernelError
@@ -34,14 +35,16 @@ class DeadlockError(KernelError):
     errno_name = "EDEADLK"
 
 
+#: Pipe ids: an itertools.count so the mint stays atomic (and
+#: unrebindable) when kernels run under parallel shard writers.
+_PIPE_IDS = itertools.count(1)
+
+
 class Pipe:
     """An unbounded in-kernel byte channel; a provenanced object."""
 
-    _next_id = 1
-
     def __init__(self, pnode: int):
-        self.pipe_id = Pipe._next_id
-        Pipe._next_id += 1
+        self.pipe_id = next(_PIPE_IDS)
         self.pnode = pnode
         self.version = 0
         self._buffer = bytearray()

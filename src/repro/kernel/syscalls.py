@@ -276,12 +276,7 @@ class Syscalls:
         if self.kernel.interceptor.enabled and observer is not None:
             # The connection between file and provenance survives the
             # rename automatically (it rides the inode); refresh NAME.
-            from repro.core.analyzer import ProtoRecord
-            from repro.core.records import Attr
-            protos: list = []
-            observer._identify_inode(inode, None, protos)
-            protos.append(ProtoRecord(inode, Attr.NAME, new))
-            observer.submit_protos(protos)
+            observer.identify_named(inode, None, new)
 
     def link(self, existing: str, new: str) -> None:
         """Create a hard link; the new name shares the provenance."""
@@ -292,12 +287,7 @@ class Syscalls:
         inode = self.kernel.vfs.link(existing, new)
         observer = self.kernel.interceptor.observer
         if self.kernel.interceptor.enabled and observer is not None:
-            from repro.core.analyzer import ProtoRecord
-            from repro.core.records import Attr
-            protos: list = []
-            observer._identify_inode(inode, existing, protos)
-            protos.append(ProtoRecord(inode, Attr.NAME, new))
-            observer.submit_protos(protos)
+            observer.identify_named(inode, existing, new)
 
     def truncate(self, path: str, size: int = 0) -> None:
         """Truncate by path."""

@@ -13,6 +13,7 @@ provenance log region.  The kernel's write path goes through
 
 from __future__ import annotations
 
+import itertools
 from typing import Callable, Optional
 
 from repro.core.errors import IsADirectory, VolumeError
@@ -31,16 +32,15 @@ JOURNAL_REGION_BLOCKS = 1 << 15     # 128 MB
 PROVLOG_REGION_BLOCKS = 1 << 19     # 2 GB
 
 #: Volume ids are globally unique across every machine in a simulation,
-#: because pnode numbers embed them and cross machines over NFS.
-_next_volume_id = 1
+#: because pnode numbers embed them and cross machines over NFS.  An
+#: itertools.count is the shard-ready mint: next() is atomic under the
+#: GIL, and nothing can rebind or rewind the sequence.
+_VOLUME_IDS = itertools.count(1)
 
 
 def allocate_volume_id() -> int:
     """Issue the next globally unique volume id."""
-    global _next_volume_id
-    volume_id = _next_volume_id
-    _next_volume_id += 1
-    return volume_id
+    return next(_VOLUME_IDS)
 
 
 class Volume:

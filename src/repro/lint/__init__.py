@@ -13,11 +13,26 @@ cost something.  This package rejects them before they run:
   and enforces the paper's Figure 2 layering as import rules, confines
   transaction framing to the storage/NFS layers, and rejects mutation
   of finalized provenance records.
+* :mod:`repro.lint.callgraph` builds a whole-program symbol table and
+  module call graph (plain ``ast``, nothing under analysis imported),
+  and :mod:`repro.lint.flowcheck` runs dataflow rules over it: layer
+  discipline through objects, cross-layer private-state reaches, batch
+  escape/mutation across boundaries, shard-readiness of shared state,
+  and dynamic imports -- the preconditions the sharded storage tier
+  relies on.
 
-Diagnostics carry ``PL###`` codes (PL1xx = PQL, PL2xx = layering) and
-come in two severities; reporters render them as text or JSON.
+Diagnostics carry ``PL###`` codes (PL1xx = PQL, PL2xx = layering,
+PL3xx = dataflow) and come in two severities; reporters render them as
+text or JSON.  ``lint: disable=PL###`` trailing comments suppress a
+diagnostic on their line; unused suppressions are themselves reported.
 """
 
+from repro.lint.callgraph import (
+    Program,
+    build_program,
+    graph_payload,
+    render_graph_dot,
+)
 from repro.lint.diagnostics import (
     ERROR,
     WARNING,
@@ -29,6 +44,7 @@ from repro.lint.diagnostics import (
     render_text,
     rule,
 )
+from repro.lint.flowcheck import analyze_tree, check_program
 from repro.lint.layercheck import check_source, check_tree
 from repro.lint.pqlcheck import Vocabulary, check_query, check_query_text
 
@@ -37,13 +53,19 @@ __all__ = [
     "WARNING",
     "Diagnostic",
     "LintReport",
+    "Program",
     "Rule",
     "Vocabulary",
     "all_rules",
+    "analyze_tree",
+    "build_program",
+    "check_program",
     "check_query",
     "check_query_text",
     "check_source",
     "check_tree",
+    "graph_payload",
+    "render_graph_dot",
     "render_json",
     "render_text",
     "rule",

@@ -1,0 +1,670 @@
+"""Whole-program symbol table and call graph over a ``repro`` tree.
+
+The PL2xx layer checks in :mod:`repro.lint.layercheck` police *imports*,
+which are the weakest coupling signal: an attribute chain through an
+object handed across a boundary reaches another layer without importing
+anything.  This module builds the shared substrate the PL3xx dataflow
+rules (:mod:`repro.lint.flowcheck`) need to see those couplings:
+
+* a **module table** -- every module parsed (plain :mod:`ast`, nothing
+  under analysis is imported), with its import bindings, top-level
+  definitions, and ``# lint: disable=`` suppression comments;
+* a **class table** -- every class with its methods, its instance
+  attributes, and best-effort *types* for those attributes (from
+  annotations and ``self.x = SomeClass(...)`` assignments);
+* a **private-name ownership index** -- which modules define each
+  ``_underscore`` attribute, so a reach like ``kernel.observer._passobjs``
+  resolves to its owning layer even when no type is inferable;
+* a **resolver** that walks expressions (names, attribute chains,
+  calls, subscripts) to the module-qualified symbol they land on;
+* the **call graph** itself: module-to-module edges tagged ``import`` /
+  ``call`` / ``attr`` / ``dynamic-import``, exportable as deterministic
+  JSON or Graphviz dot (``repro lint --graph``).
+
+Resolution is deliberately conservative: an expression that cannot be
+traced to a program symbol resolves to ``None`` and the rules stay
+silent, so every diagnostic built on top of this table is backed by an
+actual resolved reach.
+"""
+
+from __future__ import annotations
+
+import ast as pyast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.lint.layercheck import _layer_of, _module_name, _python_files
+
+#: Graph schema stamped into the ``--graph json`` export.
+GRAPH_SCHEMA = "repro-lint-graph/1"
+
+#: Trailing-comment suppressions: the ``lint: disable=PL2xx,PL3xx``
+#: marker in a trailing comment on the offending line.
+_SUPPRESS_RE = re.compile(r"#\s*lint:\s*disable=([A-Z0-9,\s]+)")
+
+#: Container annotations whose subscript yields the *last* type
+#: argument (``dict[str, Waldo][k]`` is a Waldo).
+_CONTAINER_NAMES = frozenset({"dict", "Dict", "defaultdict", "OrderedDict",
+                              "list", "List", "tuple", "Tuple",
+                              "Mapping", "MutableMapping", "Sequence"})
+
+#: Module-level constructors whose result is shared mutable state.
+_MUTABLE_CONSTRUCTORS = frozenset({"dict", "list", "set", "bytearray",
+                                   "defaultdict", "deque", "OrderedDict",
+                                   "Counter"})
+
+
+# -- type descriptors ---------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TypeRef:
+    """A resolved type: a class qualname, optionally behind a container
+    (``elem`` set means subscripting yields that element type)."""
+
+    qual: str
+    elem: Optional[str] = None
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method, keyed by module-level qualname."""
+
+    qualname: str                    # repro.storage.waldo.Waldo.drain
+    module: str
+    name: str
+    cls: Optional[str]               # owning class qualname, if a method
+    node: pyast.AST
+    lineno: int
+
+
+@dataclass
+class ClassInfo:
+    """One class: methods, attribute types, base-class names."""
+
+    qualname: str
+    module: str
+    name: str
+    lineno: int
+    bases: list[str] = field(default_factory=list)   # resolved qualnames
+    methods: dict[str, FunctionInfo] = field(default_factory=dict)
+    #: attribute name -> candidate TypeRefs (from annotations and
+    #: ``self.x = SomeClass(...)`` across every method).
+    attr_types: dict[str, set] = field(default_factory=dict)
+    #: every attribute name ever assigned on self (typed or not).
+    attrs: set = field(default_factory=set)
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed module and its locally resolvable names."""
+
+    name: str
+    path: str
+    tree: pyast.AST
+    source: str = ""
+    #: local name -> qualified symbol it binds (import or definition).
+    bindings: dict[str, str] = field(default_factory=dict)
+    #: repro-internal import targets (static), with line numbers.
+    imports: list[tuple] = field(default_factory=list)
+    #: module-level names bound to mutable containers, name -> lineno.
+    mutable_globals: dict[str, int] = field(default_factory=dict)
+    #: module-level name -> TypeRef for annotated/constructed globals.
+    global_types: dict[str, TypeRef] = field(default_factory=dict)
+    functions: dict[str, FunctionInfo] = field(default_factory=dict)
+    classes: dict[str, ClassInfo] = field(default_factory=dict)
+    #: lineno -> set of PL codes suppressed on that line.
+    suppressions: dict[int, set] = field(default_factory=dict)
+
+
+@dataclass
+class Program:
+    """The whole-program view the flow rules run over."""
+
+    root: str
+    modules: dict[str, ModuleInfo] = field(default_factory=dict)
+    classes: dict[str, ClassInfo] = field(default_factory=dict)
+    functions: dict[str, FunctionInfo] = field(default_factory=dict)
+    #: private attribute/method name -> set of defining modules.
+    private_owners: dict[str, set] = field(default_factory=dict)
+    #: aggregated module->module edges: (src, dst, kind) -> count.
+    edges: dict[tuple, int] = field(default_factory=dict)
+    #: files that failed to parse: (path, module, source) -- the flow
+    #: driver hands these to layercheck so the parse error still shows.
+    unparsed: list[tuple] = field(default_factory=list)
+
+    # -- lookups --------------------------------------------------------------
+
+    def module_of(self, qualname: str) -> Optional[str]:
+        """The module a qualified symbol is defined in, if known."""
+        if qualname in self.modules:
+            return qualname
+        head = qualname
+        while "." in head:
+            head = head.rsplit(".", 1)[0]
+            if head in self.modules:
+                return head
+        return None
+
+    def lookup_attr(self, cls: ClassInfo, name: str):
+        """Resolve ``name`` on a class (methods, typed attrs, bases).
+
+        Returns ``("method", FunctionInfo)``, ``("attr", TypeRef|None)``
+        or ``None`` when the class hierarchy never defines the name.
+        """
+        seen: set = set()
+        stack = [cls.qualname]
+        while stack:
+            qual = stack.pop(0)
+            if qual in seen:
+                continue
+            seen.add(qual)
+            info = self.classes.get(qual)
+            if info is None:
+                continue
+            if name in info.methods:
+                return ("method", info.methods[name])
+            if name in info.attr_types:
+                types = info.attr_types[name]
+                best = next((t for t in sorted(types, key=lambda t: t.qual)
+                             if t.qual in self.classes or t.elem), None)
+                return ("attr", best or next(iter(sorted(
+                    types, key=lambda t: t.qual))))
+            if name in info.attrs:
+                return ("attr", None)
+            stack.extend(info.bases)
+        return None
+
+    def record_edge(self, src: str, dst: str, kind: str) -> None:
+        """Aggregate one module-to-module reach into the call graph."""
+        if src == dst:
+            return
+        key = (src, dst, kind)
+        self.edges[key] = self.edges.get(key, 0) + 1
+
+
+# -- construction -------------------------------------------------------------
+
+
+def build_program(root: str) -> Program:
+    """Parse every module under ``root`` into a :class:`Program`."""
+    program = Program(root=root)
+    for path in sorted(_python_files(root)):
+        module = _module_name(path)
+        if module is None:
+            continue
+        with open(path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+        try:
+            tree = pyast.parse(source, filename=path)
+        except SyntaxError:
+            program.unparsed.append((path, module, source))
+            continue                    # layercheck reports the parse error
+        info = ModuleInfo(module, path, tree, source,
+                          suppressions=scan_suppressions(source))
+        _collect_module(program, info)
+        program.modules[module] = info
+    _index_private_owners(program)
+    _record_import_edges(program)
+    return program
+
+
+def scan_suppressions(source: str) -> dict[int, set]:
+    """``# lint: disable=PL...`` trailing comments, by line number.
+
+    Real COMMENT tokens only -- the marker inside a string literal (a
+    docstring example, an error message quoting the syntax) does not
+    suppress anything.
+    """
+    found: dict[int, set] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _SUPPRESS_RE.search(token.string)
+            if match:
+                codes = {code.strip() for code in match.group(1).split(",")
+                         if code.strip()}
+                if codes:
+                    found[token.start[0]] = codes
+    except tokenize.TokenError:
+        pass
+    return found
+
+
+def _collect_module(program: Program, info: ModuleInfo) -> None:
+    """Fill the module's bindings, definitions, and class tables."""
+    for node in info.tree.body:
+        _collect_statement(program, info, node)
+    # Function-local imports bind names too (deferred imports are the
+    # usual home of importlib tricks); fold them into the module's
+    # bindings so the resolver and PL305 can see through them.  A local
+    # shadow of a module-level name is possible but rare enough that
+    # the over-approximation is acceptable.
+    seen = {id(node) for node in pyast.iter_child_nodes(info.tree)}
+    for top in info.tree.body:
+        if isinstance(top, (pyast.If, pyast.Try)):
+            seen.update(id(child) for child in pyast.iter_child_nodes(top))
+    for node in pyast.walk(info.tree):
+        if (isinstance(node, (pyast.Import, pyast.ImportFrom))
+                and id(node) not in seen):
+            _collect_statement(program, info, node)
+
+
+def _collect_statement(program: Program, info: ModuleInfo,
+                       node: pyast.AST) -> None:
+    if isinstance(node, pyast.Import):
+        for alias in node.names:
+            bound = alias.asname or alias.name.split(".", 1)[0]
+            target = alias.name if alias.asname else alias.name.split(
+                ".", 1)[0]
+            info.bindings[bound] = target
+            if alias.name.startswith("repro"):
+                info.imports.append((alias.name, node.lineno))
+    elif isinstance(node, pyast.ImportFrom):
+        target = _import_from_target(info.name, node)
+        if target is None:
+            return
+        for alias in node.names:
+            if alias.name == "*":
+                continue
+            bound = alias.asname or alias.name
+            info.bindings[bound] = f"{target}.{alias.name}"
+        if target.startswith("repro"):
+            info.imports.append((target, node.lineno))
+    elif isinstance(node, (pyast.FunctionDef, pyast.AsyncFunctionDef)):
+        qual = f"{info.name}.{node.name}"
+        fn = FunctionInfo(qual, info.name, node.name, None, node,
+                          node.lineno)
+        info.functions[node.name] = fn
+        program.functions[qual] = fn
+        info.bindings.setdefault(node.name, qual)
+    elif isinstance(node, pyast.ClassDef):
+        _collect_class(program, info, node)
+    elif isinstance(node, (pyast.Assign, pyast.AnnAssign)):
+        _collect_global(info, node)
+    elif isinstance(node, (pyast.If, pyast.Try)):
+        # TYPE_CHECKING blocks and guarded imports still bind names.
+        for child in pyast.iter_child_nodes(node):
+            if isinstance(child, (pyast.Import, pyast.ImportFrom)):
+                _collect_statement(program, info, child)
+
+
+def _import_from_target(module: str, node: pyast.ImportFrom) -> Optional[str]:
+    if node.module is None:
+        return None
+    if node.level:
+        return f"{module.rsplit('.', node.level)[0]}.{node.module}"
+    return node.module
+
+
+def _collect_global(info: ModuleInfo, node: pyast.AST) -> None:
+    """Record a module-level assignment: binding, mutability, type."""
+    if isinstance(node, pyast.AnnAssign):
+        targets = [node.target]
+        value = node.value
+        annotation = node.annotation
+    else:
+        targets = node.targets
+        value = node.value
+        annotation = None
+    for target in targets:
+        if not isinstance(target, pyast.Name):
+            continue
+        info.bindings.setdefault(target.id, f"{info.name}.{target.id}")
+        if _is_mutable_literal(value, info):
+            info.mutable_globals[target.id] = node.lineno
+        typeref = (_annotation_type(annotation, info) if annotation
+                   else _constructed_type(value, info))
+        if typeref is not None:
+            info.global_types[target.id] = typeref
+
+
+def _is_mutable_literal(value: Optional[pyast.AST],
+                        info: ModuleInfo) -> bool:
+    if isinstance(value, (pyast.List, pyast.Dict, pyast.Set,
+                          pyast.ListComp, pyast.DictComp, pyast.SetComp)):
+        return True
+    if isinstance(value, pyast.Call):
+        name = None
+        if isinstance(value.func, pyast.Name):
+            name = value.func.id
+        elif isinstance(value.func, pyast.Attribute):
+            name = value.func.attr
+        return name in _MUTABLE_CONSTRUCTORS
+    return False
+
+
+def _collect_class(program: Program, info: ModuleInfo,
+                   node: pyast.ClassDef) -> None:
+    qual = f"{info.name}.{node.name}"
+    cls = ClassInfo(qual, info.name, node.name, node.lineno)
+    for base in node.bases:
+        resolved = _resolve_dotted(base, info)
+        if resolved:
+            cls.bases.append(resolved)
+    for item in node.body:
+        if isinstance(item, (pyast.FunctionDef, pyast.AsyncFunctionDef)):
+            fn_qual = f"{qual}.{item.name}"
+            fn = FunctionInfo(fn_qual, info.name, item.name, qual, item,
+                              item.lineno)
+            cls.methods[item.name] = fn
+            program.functions[fn_qual] = fn
+            _collect_self_attrs(cls, item, info)
+        elif isinstance(item, pyast.AnnAssign) and isinstance(
+                item.target, pyast.Name):
+            cls.attrs.add(item.target.id)
+            typeref = _annotation_type(item.annotation, info)
+            if typeref is not None:
+                cls.attr_types.setdefault(item.target.id, set()).add(typeref)
+        elif isinstance(item, pyast.Assign):
+            for target in item.targets:
+                if isinstance(target, pyast.Name):
+                    cls.attrs.add(target.id)
+    info.classes[node.name] = cls
+    program.classes[qual] = cls
+    info.bindings.setdefault(node.name, qual)
+
+
+def _collect_self_attrs(cls: ClassInfo, fn: pyast.AST,
+                        info: ModuleInfo) -> None:
+    """Harvest ``self.x = ...`` attribute names and types from a method."""
+    for node in pyast.walk(fn):
+        if isinstance(node, pyast.AnnAssign):
+            target, value = node.target, node.value
+            if _is_self_attr(target):
+                cls.attrs.add(target.attr)
+                typeref = _annotation_type(node.annotation, info)
+                if typeref is not None:
+                    cls.attr_types.setdefault(target.attr, set()).add(typeref)
+        elif isinstance(node, pyast.Assign):
+            for target in node.targets:
+                if not _is_self_attr(target):
+                    continue
+                cls.attrs.add(target.attr)
+                typeref = _constructed_type(node.value, info)
+                if typeref is None and isinstance(node.value, pyast.Name):
+                    # ``self.kernel = kernel``: take the parameter's
+                    # annotation when the method declares one.
+                    typeref = _param_type(fn, node.value.id, info)
+                if typeref is not None:
+                    cls.attr_types.setdefault(target.attr, set()).add(typeref)
+
+
+def _is_self_attr(node: pyast.AST) -> bool:
+    return (isinstance(node, pyast.Attribute)
+            and isinstance(node.value, pyast.Name)
+            and node.value.id == "self")
+
+
+def _param_type(fn: pyast.AST, name: str,
+                info: ModuleInfo) -> Optional[TypeRef]:
+    for arg in [*fn.args.posonlyargs, *fn.args.args, *fn.args.kwonlyargs]:
+        if arg.arg == name and arg.annotation is not None:
+            return _annotation_type(arg.annotation, info)
+    return None
+
+
+def _annotation_type(node: Optional[pyast.AST],
+                     info: ModuleInfo) -> Optional[TypeRef]:
+    """Resolve an annotation to a TypeRef (Optional/containers peeled)."""
+    if node is None:
+        return None
+    if isinstance(node, pyast.Constant) and isinstance(node.value, str):
+        try:
+            node = pyast.parse(node.value, mode="eval").body
+        except SyntaxError:
+            return None
+    if isinstance(node, pyast.Subscript):
+        head = node.value
+        head_name = (head.id if isinstance(head, pyast.Name)
+                     else head.attr if isinstance(head, pyast.Attribute)
+                     else None)
+        args = (list(node.slice.elts)
+                if isinstance(node.slice, pyast.Tuple) else [node.slice])
+        if head_name == "Optional" and args:
+            return _annotation_type(args[0], info)
+        if head_name in _CONTAINER_NAMES and args:
+            elem = _annotation_type(args[-1], info)
+            if elem is not None:
+                return TypeRef(qual=elem.qual, elem=elem.qual)
+            return None
+        return None
+    if isinstance(node, pyast.BinOp) and isinstance(node.op, pyast.BitOr):
+        # ``T | None``: take whichever side resolves.
+        return (_annotation_type(node.left, info)
+                or _annotation_type(node.right, info))
+    resolved = _resolve_dotted(node, info)
+    return TypeRef(resolved) if resolved else None
+
+
+def _constructed_type(value: Optional[pyast.AST],
+                      info: ModuleInfo) -> Optional[TypeRef]:
+    """``SomeClass(...)`` resolved through the module's bindings."""
+    if not isinstance(value, pyast.Call):
+        return None
+    resolved = _resolve_dotted(value.func, info)
+    if resolved and resolved.rsplit(".", 1)[-1][:1].isupper():
+        return TypeRef(resolved)
+    return None
+
+
+def _resolve_dotted(node: pyast.AST, info: ModuleInfo) -> Optional[str]:
+    """Resolve ``Name`` / ``a.b.C`` through the module's bindings."""
+    parts = []
+    while isinstance(node, pyast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, pyast.Name):
+        return None
+    base = info.bindings.get(node.id)
+    if base is None:
+        return None
+    return ".".join([base, *reversed(parts)]) if parts else base
+
+
+def _index_private_owners(program: Program) -> None:
+    """Map every ``_name`` a class defines to its defining modules."""
+    for cls in program.classes.values():
+        for name in [*cls.attrs, *cls.methods]:
+            if name.startswith("_") and not name.startswith("__"):
+                program.private_owners.setdefault(name, set()).add(
+                    cls.module)
+
+
+def _record_import_edges(program: Program) -> None:
+    for info in program.modules.values():
+        for target, _lineno in info.imports:
+            dst = program.module_of(target) or target
+            program.record_edge(info.name, dst, "import")
+
+
+# -- per-function expression resolution ---------------------------------------
+
+
+class Resolver:
+    """Resolves expressions inside one function to program symbols.
+
+    Results are ``("module", name)``, ``("class", qualname)``,
+    ``("instance", TypeRef)``, ``("callable", FunctionInfo)`` or
+    ``None``.  The local environment is fed by the flow checker as it
+    walks assignments in statement order.
+    """
+
+    def __init__(self, program: Program, info: ModuleInfo,
+                 fn: Optional[FunctionInfo] = None):
+        self.program = program
+        self.info = info
+        self.fn = fn
+        #: local name -> TypeRef ("instance" bindings only).
+        self.env: dict[str, TypeRef] = {}
+        if fn is not None:
+            self._seed_params(fn)
+
+    def _seed_params(self, fn: FunctionInfo) -> None:
+        args = fn.node.args
+        for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+            if arg.annotation is not None:
+                typeref = _annotation_type(arg.annotation, self.info)
+                if typeref is not None:
+                    self.env[arg.arg] = typeref
+        if fn.cls is not None:
+            self.env.setdefault("self", TypeRef(fn.cls))
+
+    def assign(self, name: str, value: pyast.AST) -> None:
+        """Track ``name = <expr>`` for later resolution."""
+        resolved = self.resolve(value)
+        if resolved is not None and resolved[0] == "instance":
+            self.env[name] = resolved[1]
+        elif name in self.env:
+            del self.env[name]          # rebound to something unknown
+
+    def resolve(self, node: pyast.AST):
+        if isinstance(node, pyast.Name):
+            return self._resolve_name(node.id)
+        if isinstance(node, pyast.Attribute):
+            return self._resolve_attribute(node)
+        if isinstance(node, pyast.Call):
+            return self._resolve_call(node)
+        if isinstance(node, pyast.Subscript):
+            base = self.resolve(node.value)
+            if (base is not None and base[0] == "instance"
+                    and base[1].elem is not None):
+                return ("instance", TypeRef(base[1].elem))
+            return None
+        return None
+
+    def _resolve_name(self, name: str):
+        if name in self.env:
+            return ("instance", self.env[name])
+        target = self.info.bindings.get(name)
+        if target is None:
+            return None
+        return self._categorize(target)
+
+    def _categorize(self, qual: str):
+        program = self.program
+        if qual in program.modules:
+            return ("module", qual)
+        if qual in program.classes:
+            return ("class", qual)
+        if qual in program.functions:
+            return ("callable", program.functions[qual])
+        owner = program.module_of(qual)
+        if owner is not None and owner != qual:
+            # A symbol inside a known module: typed global, or opaque.
+            name = qual[len(owner) + 1:]
+            if "." not in name:
+                typeref = program.modules[owner].global_types.get(name)
+                if typeref is not None:
+                    return ("instance", typeref)
+        elif qual.startswith("repro"):
+            return ("module", qual)     # unparsed repro module (partial tree)
+        return None
+
+    def _resolve_attribute(self, node: pyast.Attribute):
+        base = self.resolve(node.value)
+        if base is None:
+            return None
+        kind, payload = base
+        if kind == "module":
+            return self._categorize(f"{payload}.{node.attr}")
+        if kind in ("class", "instance"):
+            qual = payload if kind == "class" else payload.qual
+            cls = self.program.classes.get(qual)
+            if cls is None:
+                return None
+            found = self.program.lookup_attr(cls, node.attr)
+            if found is None:
+                return None
+            what, value = found
+            if what == "method":
+                return ("callable", value)
+            if value is not None:
+                return ("instance", value)
+            return None
+        return None
+
+    def _resolve_call(self, node: pyast.Call):
+        func = self.resolve(node.func)
+        if func is None:
+            return None
+        if func[0] == "class":
+            return ("instance", TypeRef(func[1]))
+        if func[0] == "callable":
+            returns = getattr(func[1].node, "returns", None)
+            owner = self.program.modules.get(func[1].module)
+            if returns is not None and owner is not None:
+                typeref = _annotation_type(returns, owner)
+                if typeref is not None:
+                    return ("instance", typeref)
+        return None
+
+    def owner_module(self, resolved) -> Optional[str]:
+        """The module a resolved symbol is defined in."""
+        if resolved is None:
+            return None
+        kind, payload = resolved
+        if kind == "module":
+            return self.program.module_of(payload) or payload
+        if kind == "class":
+            return self.program.classes[payload].module
+        if kind == "instance":
+            cls = self.program.classes.get(payload.qual)
+            return cls.module if cls else None
+        if kind == "callable":
+            return payload.module
+        return None
+
+
+# -- graph export -------------------------------------------------------------
+
+
+def graph_payload(program: Program) -> dict:
+    """Deterministic JSON document for ``repro lint --graph json``."""
+    modules = []
+    for name in sorted(program.modules):
+        info = program.modules[name]
+        method_count = sum(len(cls.methods) for cls in info.classes.values())
+        modules.append({
+            "name": name,
+            "layer": _layer_of(name) or "",
+            "classes": len(info.classes),
+            "functions": len(info.functions) + method_count,
+        })
+    edges = [
+        {"src": src, "dst": dst, "kind": kind, "count": count}
+        for (src, dst, kind), count in sorted(program.edges.items())
+    ]
+    return {
+        "schema": GRAPH_SCHEMA,
+        "modules": modules,
+        "edges": edges,
+    }
+
+
+def render_graph_dot(program: Program) -> str:
+    """Graphviz rendering: modules clustered by layer."""
+    by_layer: dict[str, list[str]] = {}
+    for name in sorted(program.modules):
+        by_layer.setdefault(_layer_of(name) or "(unlayered)", []).append(name)
+    lines = ["digraph passflow {", "  rankdir=LR;",
+             '  node [shape=box, fontsize=10];']
+    for index, layer in enumerate(sorted(by_layer)):
+        lines.append(f'  subgraph cluster_{index} {{')
+        lines.append(f'    label="{layer}";')
+        for name in by_layer[layer]:
+            lines.append(f'    "{name}";')
+        lines.append("  }")
+    styles = {"import": "solid", "call": "bold",
+              "attr": "dashed", "dynamic-import": "dotted"}
+    for (src, dst, kind), count in sorted(program.edges.items()):
+        style = styles.get(kind, "solid")
+        lines.append(f'  "{src}" -> "{dst}" '
+                     f'[style={style}, label="{kind} x{count}"];')
+    lines.append("}")
+    return "\n".join(lines) + "\n"

@@ -28,7 +28,7 @@ import ast as pyast
 import os
 from typing import Iterable, Optional
 
-from repro.lint.diagnostics import ERROR, WARNING, Diagnostic, rule
+from repro.lint.diagnostics import ERROR, WARNING, Diagnostic, Rule, rule
 
 # -- rules -------------------------------------------------------------------
 
@@ -94,9 +94,13 @@ PL210 = rule(
 _ALLOWED: dict[str, tuple[str, ...]] = {
     # Applications: the disclosure surface only.
     "repro.apps": ("repro.apps", "repro.core", "repro.obs"),
-    # Core pipeline: itself + the kernel interception boundary.
+    # Core pipeline: itself + the kernel interception boundary.  The
+    # boundary includes the stacked volume data path (fs_top /
+    # read_bytes / write_bytes): the observer reads and writes file
+    # bytes through the same volume stack the VFS interposes on.
     "repro.core": ("repro.core", "repro.kernel.kernel",
                    "repro.kernel.process", "repro.kernel.vfs",
+                   "repro.kernel.volume",
                    "repro.obs", "repro.faults"),
     # Kernel: itself + core datatypes (records flow upward only).
     "repro.kernel": ("repro.kernel", "repro.core", "repro.obs",
@@ -213,6 +217,55 @@ def _within(module: str, prefixes: Iterable[str]) -> bool:
                for p in prefixes)
 
 
+def import_violation(module: str,
+                     target: str) -> Optional[tuple[Rule, str]]:
+    """The (rule, message) importing ``target`` from ``module`` breaks,
+    or None when the layering allows it.
+
+    The one shared judgment for every way an import can happen: the
+    static ``import``/``from`` pass below, and passflow's PL305
+    constant-folding of ``importlib.import_module("...")`` calls
+    (:mod:`repro.lint.flowcheck`), so a dynamic import is held to
+    exactly the Figure-2 rules a static one is.
+    """
+    if not target.startswith("repro"):
+        return None
+    if (_within(module, _NO_FACADE)
+            and _within(target, ("repro.system", "repro.cli"))):
+        code = (PL201 if _within(module, ("repro.apps",))
+                else PL202 if _within(module, ("repro.core",))
+                else PL203)
+        return code, (f"{module} must not import {target} "
+                      "(the facade sits above every layer)")
+    layer = _layer_of(module)
+    if layer is None:
+        return None
+    if _within(target, _ALLOWED[layer]):
+        return None
+    if layer == "repro.pql" and _within(target, ("repro.storage",)):
+        return PL210, (f"{module} imports {target}; the query layer "
+                       "receives records (push feed), it does not pull "
+                       "them from storage")
+    if layer == "repro.obs":
+        return PL208, (f"{module} imports {target}; repro.obs is a leaf "
+                       "layer and may import nothing from the rest of "
+                       "repro")
+    if layer == "repro.faults":
+        return PL209, (f"{module} imports {target}; repro.faults may "
+                       "import only the kernel and obs (no "
+                       "core/storage/nfs back-edges)")
+    if layer == "repro.apps":
+        return PL201, (f"{module} imports {target}; applications may "
+                       "touch only the libpass/DPAPI surface "
+                       "(repro.core)")
+    if layer == "repro.core":
+        return PL202, (f"{module} imports {target}; the core pipeline "
+                       "may reach the kernel only via "
+                       "kernel.kernel/process/vfs")
+    return PL203, (f"{module} imports {target}, outside the {layer} "
+                   f"allow-list {sorted(_ALLOWED[layer])}")
+
+
 # -- the AST pass ------------------------------------------------------------
 
 
@@ -250,44 +303,10 @@ class _ModuleChecker(pyast.NodeVisitor):
         self.generic_visit(node)
 
     def _check_import(self, target: str, node: pyast.AST) -> None:
-        if not target.startswith("repro"):
-            return
-        if (_within(self.module, _NO_FACADE)
-                and _within(target, ("repro.system", "repro.cli"))):
-            code = (PL201 if _within(self.module, ("repro.apps",))
-                    else PL202 if _within(self.module, ("repro.core",))
-                    else PL203)
-            self._emit(code, f"{self.module} must not import {target} "
-                       "(the facade sits above every layer)", node)
-            return
-        if self.layer is None:
-            return
-        if not _within(target, _ALLOWED[self.layer]):
-            if (self.layer == "repro.pql"
-                    and _within(target, ("repro.storage",))):
-                self._emit(PL210, f"{self.module} imports {target}; the "
-                           "query layer receives records (push feed), it "
-                           "does not pull them from storage", node)
-            elif self.layer == "repro.obs":
-                self._emit(PL208, f"{self.module} imports {target}; "
-                           "repro.obs is a leaf layer and may import "
-                           "nothing from the rest of repro", node)
-            elif self.layer == "repro.faults":
-                self._emit(PL209, f"{self.module} imports {target}; "
-                           "repro.faults may import only the kernel and "
-                           "obs (no core/storage/nfs back-edges)", node)
-            elif self.layer == "repro.apps":
-                self._emit(PL201, f"{self.module} imports {target}; "
-                           "applications may touch only the "
-                           "libpass/DPAPI surface (repro.core)", node)
-            elif self.layer == "repro.core":
-                self._emit(PL202, f"{self.module} imports {target}; the "
-                           "core pipeline may reach the kernel only "
-                           "via kernel.kernel/process/vfs", node)
-            else:
-                self._emit(PL203, f"{self.module} imports {target}, "
-                           f"outside the {self.layer} allow-list "
-                           f"{sorted(_ALLOWED[self.layer])}", node)
+        found = import_violation(self.module, target)
+        if found is not None:
+            registered, message = found
+            self._emit(registered, message, node)
 
     # -- framing confinement -------------------------------------------------
 

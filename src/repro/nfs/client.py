@@ -436,10 +436,10 @@ class NFSClient:
         pnode = self.server.op_passmkobj()
         obj = PassObject(pnode, volume_hint=self.volume.name)
         kernel = self.system.kernel
-        if kernel.analyzer is not None:
-            kernel.analyzer.register(obj)
         if kernel.observer is not None:
-            kernel.observer._passobjs[pnode] = obj
+            kernel.observer.adopt_passobj(obj)
+        elif kernel.analyzer is not None:
+            kernel.analyzer.register(obj)
         self._revived[pnode] = obj
         return obj
 

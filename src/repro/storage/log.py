@@ -50,7 +50,10 @@ def _zero_digest(length: int) -> bytes:
         state.update(_ZERO_CHUNK[:step])
         remaining -= step
     if length not in _ZERO_STATES and len(_ZERO_STATES) < 4096:
-        _ZERO_STATES[length] = state.copy()
+        # Idempotent content-keyed memo: every writer computes the same
+        # state for a given length, so a lost or duplicated store under
+        # concurrency costs time, never correctness.
+        _ZERO_STATES[length] = state.copy()  # lint: disable=PL304
     return state.digest()
 
 

@@ -165,7 +165,7 @@ class System:
         try:
             yield syscalls
         finally:
-            self.kernel._reap(syscalls.proc, 0)
+            self.kernel.reap(syscalls.proc, 0)
 
     def register_program(self, path: str, program: Program,
                          size: int = 102400):

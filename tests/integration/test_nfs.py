@@ -326,8 +326,8 @@ class TestVersionBranching:
         procB.write(fdB, b"from-B")
         procA.close(fdA)
         procB.close(fdB)
-        sysA.kernel._reap(procA.proc, 0)
-        sysB.kernel._reap(procB.proc, 0)
+        sysA.kernel.reap(procA.proc, 0)
+        sysB.kernel.reap(procB.proc, 0)
         sync_all(server_sys, clients)
         db = server_sys.database("export")
         branches = [r for r in db.all_records() if r.attr == Attr.BRANCH_OF]

@@ -39,7 +39,7 @@ def test_random_activity_yields_clean_store(script):
 
     for action, name in script:
         if action == "newproc":
-            system.kernel._reap(current.proc, 0)
+            system.kernel.reap(current.proc, 0)
             current = system.kernel.spawn_shell(["driver"])
             continue
         path = ensure(name)
@@ -64,7 +64,7 @@ def test_random_activity_yields_clean_store(script):
             fd = current.open(other, "w")
             current.write(fd, data)
             current.close(fd)
-    system.kernel._reap(current.proc, 0)
+    system.kernel.reap(current.proc, 0)
     system.sync()
     report = fsck(system.databases())
     assert report.clean, "\n".join(str(f) for f in report.findings)

@@ -7,6 +7,9 @@ lint pre-pass reports no blocking diagnostic, evaluation must not raise
 ``PQLNameError``.
 """
 
+import json
+import os
+
 import hypothesis.strategies as st
 import pytest
 from hypothesis import assume, given, settings
@@ -87,3 +90,31 @@ def test_prepass_rejections_are_positioned(text):
     for diag in check_query(query, ENGINE.vocabulary()):
         if diag.severity == ERROR:
             assert diag.line >= 1
+
+
+# -- passflow over the shipped tree -------------------------------------------
+
+SRC_ROOT = os.path.join(os.path.dirname(__file__), os.pardir, os.pardir,
+                        "src", "repro")
+
+
+def _run_passflow():
+    from repro.lint import analyze_tree, build_program, graph_payload
+    from repro.lint.flowcheck import check_program
+
+    diagnostics = analyze_tree(SRC_ROOT)
+    program = build_program(SRC_ROOT)
+    check_program(program)
+    graph = json.dumps(graph_payload(program), indent=2, sort_keys=True)
+    report = json.dumps([d.to_dict() for d in diagnostics], sort_keys=True)
+    return report, graph
+
+
+def test_passflow_is_deterministic_and_strict_clean():
+    """Two full runs over src/repro: byte-identical JSON, and clean
+    enough for --strict (no diagnostics at all)."""
+    first_report, first_graph = _run_passflow()
+    second_report, second_graph = _run_passflow()
+    assert first_report == second_report
+    assert first_graph == second_graph
+    assert first_report == "[]"

@@ -98,7 +98,7 @@ class SystemMachine(RuleBasedStateMachine):
     def retire_process(self):
         if len(self.procs) > 1:
             proc = self.procs.pop()
-            self.system.kernel._reap(proc.proc, 0)
+            self.system.kernel.reap(proc.proc, 0)
 
     @rule()
     def sync(self):

@@ -65,7 +65,57 @@ class TestLintCommand:
     def test_rules_listing(self, capsys):
         assert main(["lint", "--rules"]) == 0
         out = capsys.readouterr().out
-        assert "PL101" in out and "PL201" in out
+        assert "PL101" in out and "PL201" in out and "PL301" in out
+
+    def test_disguised_dynamic_import_is_rejected(self, tmp_path, capsys):
+        # Regression: a constant importlib.import_module must be held
+        # to the same layer rules as a static import (PL305 folding).
+        pkg = tmp_path / "repro" / "apps"
+        pkg.mkdir(parents=True)
+        bad = pkg / "sneaky.py"
+        bad.write_text(
+            "import importlib\n"
+            "def load():\n"
+            '    return importlib.import_module("repro.storage.waldo")\n')
+        assert main(["lint", str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "PL201" in out and "via dynamic import" in out
+
+    def test_suppression_honored_in_strict_accounting(self, tmp_path,
+                                                      capsys):
+        pkg = tmp_path / "repro" / "apps"
+        pkg.mkdir(parents=True)
+        excused = pkg / "excused.py"
+        excused.write_text("from repro.storage.waldo import Waldo"
+                           "  # lint: disable=PL201\n")
+        assert main(["lint", "--strict", str(excused)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_unused_suppression_fails_strict(self, tmp_path, capsys):
+        pkg = tmp_path / "repro" / "apps"
+        pkg.mkdir(parents=True)
+        stale = pkg / "stale.py"
+        stale.write_text("X = 1  # lint: disable=PL201\n")
+        assert main(["lint", str(stale)]) == 0
+        assert "PL306" in capsys.readouterr().out
+        assert main(["lint", "--strict", str(stale)]) == 1
+
+    def test_graph_json_export(self, capsys):
+        assert main(["lint", "--graph", "json", "src/repro"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"].startswith("repro-lint-graph/")
+        assert any(m["name"] == "repro.storage.waldo"
+                   for m in payload["modules"])
+        assert any(e["kind"] == "call" for e in payload["edges"])
+
+    def test_graph_dot_export(self, capsys):
+        assert main(["lint", "--graph", "dot", "src/repro"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("digraph passflow {")
+        assert '"repro.storage.waldo"' in out
+
+    def test_graph_without_tree_target_is_usage_error(self, capsys):
+        assert main(["lint", "--graph", "json"]) == 2
 
 
 def _store(tmp_path, records):
