@@ -23,6 +23,7 @@ import os
 SUITE_NAMES = {
     "repro-bench-ingest": "ingest",
     "repro-bench-incremental": "incremental_query",
+    "repro-bench-obs": "obs_overhead",
     "repro-bench": "workloads",
 }
 

@@ -24,9 +24,9 @@ from repro.query.report import ancestry_tree, to_dot
 from repro.system import System
 
 
-def build_quickstart(tracing: bool = False) -> System:
+def build_quickstart(tracing: bool = False, journal: bool = False) -> System:
     """A small pipeline: two files, one transforming process."""
-    system = System.boot(tracing=tracing)
+    system = System.boot(tracing=tracing, journal=journal)
     with system.process(argv=["ingest"]) as proc:
         fd = proc.open("/pass/raw.dat", "w")
         proc.write(fd, b"1,2,3\n")
@@ -42,7 +42,7 @@ def build_quickstart(tracing: bool = False) -> System:
     return system
 
 
-def build_challenge(tracing: bool = False) -> System:
+def build_challenge(tracing: bool = False, journal: bool = False) -> System:
     """The First Provenance Challenge workflow under PA-Kepler."""
     from repro.apps.kepler.challenge import (
         build_challenge as build_wf,
@@ -51,7 +51,7 @@ def build_challenge(tracing: bool = False) -> System:
     )
     from repro.apps.kepler.director import run_workflow
 
-    system = System.boot(tracing=tracing)
+    system = System.boot(tracing=tracing, journal=journal)
     ensure_dirs(system, "/pass/inputs", "/pass/work", "/pass/out")
     generate_inputs(system, "/pass/inputs")
     workflow = build_wf("/pass/inputs", "/pass/work", "/pass/out")
@@ -60,11 +60,11 @@ def build_challenge(tracing: bool = False) -> System:
     return system
 
 
-def build_malware(tracing: bool = False) -> System:
+def build_malware(tracing: bool = False, journal: bool = False) -> System:
     """The section 3.2 malware scenario."""
     from repro.apps.links import Browser, Web
 
-    system = System.boot(tracing=tracing)
+    system = System.boot(tracing=tracing, journal=journal)
     web = Web()
     web.publish("http://portal/", links=["http://codecs/"])
     web.publish("http://codecs/", links=["http://codecs/get"])
@@ -287,20 +287,49 @@ def _layer_lines(layers: dict) -> list[str]:
     return lines
 
 
+def _write_or_print(text: str, out: str | None) -> None:
+    """Send exporter output to ``--out FILE`` or stdout."""
+    if out and out != "-":
+        with open(out, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"wrote {out}", file=sys.stderr)
+    else:
+        print(text, end="" if text.endswith("\n") else "\n")
+
+
 def cmd_stats(args: argparse.Namespace) -> int:
     """Build a scenario, exercise a query, dump per-layer metrics."""
     import json
 
+    from repro.obs.export import prometheus_text
+    from repro.obs.rollup import rollup
+
     system = SCENARIOS[args.scenario](tracing=args.trace)
     system.query(args.query or STATS_QUERY)
+    fmt = "json" if args.json else args.format
+    snapshot = system.stats()
+    if args.rollup:
+        rolled = rollup(snapshot, by=tuple(args.rollup.split(",")))
+        if fmt == "json":
+            print(json.dumps(rolled, indent=2, sort_keys=True))
+        elif fmt == "prom":
+            print(prometheus_text(
+                {key: section for key, section in rolled.items()}),
+                end="")
+        else:
+            print("\n".join(_layer_lines(rolled)))
+        return 0
+    if fmt == "prom":
+        _write_or_print(prometheus_text(snapshot), args.out)
+        return 0
     payload = {
         "scenario": args.scenario,
         "simulated_elapsed_s": system.elapsed(),
-        "layers": system.stats(),
+        "layers": snapshot,
     }
     if args.trace:
         payload["spans_collected"] = len(system.trace())
-    if args.json:
+    if fmt == "json":
         print(json.dumps(payload, indent=2, sort_keys=True))
     else:
         print(f"scenario {args.scenario!r}: simulated "
@@ -313,15 +342,26 @@ def cmd_trace(args: argparse.Namespace) -> int:
     """Build a scenario with tracing on and dump the collected spans."""
     import json
 
+    from repro.obs.export import chrome_trace_json
+
     system = SCENARIOS[args.scenario](tracing=True)
     system.query(args.query or STATS_QUERY)
-    spans = system.trace()
+    document = system.trace_export()
+    spans = document["spans"]
+    dropped = document["dropped_spans"]
     if args.limit:
         spans = spans[-args.limit:]
-    if args.json:
-        print(json.dumps(spans, indent=2, sort_keys=True))
+    fmt = "json" if args.json else args.format
+    if fmt == "chrome":
+        _write_or_print(chrome_trace_json(spans, clock=args.clock),
+                        args.out)
         return 0
-    print(f"{len(spans)} spans (oldest first):", file=sys.stderr)
+    if fmt == "json":
+        print(json.dumps({"spans": spans, "dropped_spans": dropped},
+                         indent=2, sort_keys=True))
+        return 0
+    print(f"{len(spans)} spans (oldest first), {dropped} dropped:",
+          file=sys.stderr)
     for span in spans:
         indent = "  " * span["depth"]
         tags = "".join(f" {k}={v}" for k, v in sorted(span["tags"].items()))
@@ -329,6 +369,100 @@ def cmd_trace(args: argparse.Namespace) -> int:
               f"sim={span['sim_elapsed'] * 1e3:.3f}ms "
               f"wall={span['wall_elapsed'] * 1e3:.3f}ms{tags}")
     return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    """Span-tree profile: self-time table or collapsed stacks for
+    flamegraph renderers."""
+    from repro.obs.export import collapsed_stacks, profile_table
+
+    system = SCENARIOS[args.scenario](tracing=True)
+    system.query(args.query or STATS_QUERY)
+    document = system.trace_export()
+    spans = document["spans"]
+    if document["dropped_spans"]:
+        print(f"warning: {document['dropped_spans']} spans dropped from "
+              f"the ring; the profile undercounts", file=sys.stderr)
+    if args.format == "collapsed":
+        _write_or_print(collapsed_stacks(spans, clock=args.clock),
+                        args.out)
+        return 0
+    print(f"scenario {args.scenario!r}: {len(spans)} spans, "
+          f"{args.clock} clock", file=sys.stderr)
+    _write_or_print(profile_table(spans, clock=args.clock, top=args.top),
+                    args.out)
+    return 0
+
+
+def cmd_journal(args: argparse.Namespace) -> int:
+    """Build a scenario with the journal on and dump its events."""
+    import json
+
+    system = SCENARIOS[args.scenario](tracing=True, journal=True)
+    if args.slow_ms is not None:
+        system.obs.journal.slow_query_threshold_s = args.slow_ms / 1e3
+    system.query(args.query or STATS_QUERY)
+    events = system.journal_events(args.kind)
+    if args.limit:
+        events = events[-args.limit:]
+    if args.jsonl:
+        for event in events:
+            print(json.dumps(event, sort_keys=True, default=str))
+        return 0
+    stats = system.obs.journal.stats()
+    print(f"{len(events)} events ({stats['events_dropped']} dropped, "
+          f"{stats['events_sampled_out']} sampled out):", file=sys.stderr)
+    for event in events:
+        extras = {key: value for key, value in event.items()
+                  if key not in ("seq", "kind", "layer", "volume", "sim_t",
+                                 "wall_t", "trace_id", "span_id")}
+        rendered = "".join(f" {k}={v}" for k, v in sorted(extras.items()))
+        where = f"@{event['volume']}" if event["volume"] else ""
+        correlation = (f" span={event['trace_id']}/{event['span_id']}"
+                       if event["trace_id"] is not None else "")
+        print(f"#{event['seq']:<5d} {event['kind']} "
+              f"[{event['layer'] or '-'}{where}]"
+              f"{correlation}{rendered}")
+    return 0
+
+
+def cmd_health(args: argparse.Namespace) -> int:
+    """SLO health verdict: build a scenario, probe queries, check the
+    telemetry against the policy; exits nonzero on breach."""
+    import json
+    import os
+
+    from repro.obs.health import SLOPolicy, evaluate_health
+
+    slos = SLOPolicy(
+        max_dropped_spans=args.max_dropped_spans,
+        max_query_p50_s=args.max_p50,
+        max_query_p99_s=args.max_p99,
+        min_ingest_speedup=args.min_ingest_speedup,
+    )
+    system = SCENARIOS[args.scenario](tracing=True, journal=True)
+    for _ in range(max(1, args.query_repeats)):
+        system.query(args.query or STATS_QUERY)
+
+    def load(path):
+        if not path or not os.path.exists(path):
+            return None
+        with open(path, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+
+    verdict = evaluate_health(
+        system.stats(),
+        dropped_spans=system.obs.tracer.dropped_spans,
+        journal_stats=system.obs.journal.stats(),
+        bench=load(args.bench),
+        crashtest=load(args.crashtest),
+        slos=slos,
+    )
+    if args.json:
+        print(json.dumps(verdict.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(verdict.render_text())
+    return 0 if verdict.ok else 1
 
 
 BENCH_SCHEMA = "repro-bench/1"
@@ -342,6 +476,8 @@ BENCH_SUITES = {
                {}, {"rounds": 2, "files": 24, "repeats": 1}),
     "incremental_query": ("bench_incremental_query",
                           {}, {"rounds": 3, "files": 30}),
+    "obs_overhead": ("bench_obs_overhead",
+                     {}, {"rounds": 2, "files": 40}),
 }
 
 
@@ -381,8 +517,12 @@ def _run_bench_suites(args: argparse.Namespace) -> int:
         # Targets come from the static BENCH_SUITES registry above --
         # never repro-internal modules, never user input.
         payload = importlib.import_module(module_name).run(**kwargs)  # lint: disable=PL305
-        print(f"{name}: {payload['records_total']} records, "
-              f"{payload['speedup']:.1f}x speedup")
+        if "speedup" in payload:
+            print(f"{name}: {payload['records_total']} records, "
+                  f"{payload['speedup']:.1f}x speedup")
+        else:
+            print(f"{name}: {payload['records_total']} records, "
+                  f"{payload['overhead_pct']:+.2f}% enabled overhead")
         if args.out != "-":
             merge_results(args.out, name, payload)
     if args.out != "-":
@@ -391,14 +531,74 @@ def _run_bench_suites(args: argparse.Namespace) -> int:
     return 0
 
 
+def _compare_bench_files(args: argparse.Namespace,
+                         baseline: dict | None) -> int:
+    """Gate the freshly written --out document against a baseline
+    loaded *before* the suites ran (--out may BE the baseline path)."""
+    import json
+
+    from repro.obs.health import compare_bench, render_compare
+
+    if baseline is None:
+        print(f"bench: no baseline at {args.compare!r}; this run's "
+              f"results become the baseline", file=sys.stderr)
+        return 0
+    with open(args.out, "r", encoding="utf-8") as handle:
+        current = json.load(handle)
+    report = compare_bench(baseline, current, tolerance=args.tolerance)
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(render_compare(report))
+    return 0 if report["ok"] else 1
+
+
+def _load_json(path: str) -> dict | None:
+    import json
+    import os
+
+    if not path or not os.path.exists(path):
+        return None
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
     import json
 
     from repro.workloads import ALL_WORKLOADS
     from repro.workloads.base import overhead_pct, run_local
 
+    if args.against:
+        # Pure file-vs-file comparison: no suites run, no writes.
+        from repro.obs.health import compare_bench, render_compare
+
+        baseline = _load_json(args.against)
+        current = _load_json(args.out)
+        if baseline is None or current is None:
+            missing = args.against if baseline is None else args.out
+            print(f"bench: cannot compare; missing {missing!r}",
+                  file=sys.stderr)
+            return 2
+        report = compare_bench(baseline, current,
+                               tolerance=args.tolerance)
+        if args.json:
+            print(json.dumps(report, indent=2, sort_keys=True))
+        else:
+            print(render_compare(report))
+        return 0 if report["ok"] else 1
+
     if args.suite:
-        return _run_bench_suites(args)
+        # Snapshot the baseline before the suites overwrite --out.
+        baseline = _load_json(args.compare) if args.compare else None
+        code = _run_bench_suites(args)
+        if code or not args.compare:
+            return code
+        if args.out == "-":
+            print("bench: --compare needs --out to point at a results "
+                  "file", file=sys.stderr)
+            return 2
+        return _compare_bench_files(args, baseline)
 
     workloads = {}
     print(f"{'Benchmark':22s}{'Ext3':>10s}{'PASSv2':>10s}{'Overhead':>10s}")
@@ -545,6 +745,18 @@ def main(argv: list[str] | None = None) -> int:
     bench.add_argument("--out", metavar="FILE", default="BENCH_results.json",
                        help="where to write the JSON results "
                             "('-' to skip; default %(default)s)")
+    bench.add_argument("--compare", metavar="BASELINE",
+                       help="suite mode: after running, gate the fresh "
+                            "results against this baseline document "
+                            "(may be the same file as --out)")
+    bench.add_argument("--against", metavar="BASELINE",
+                       help="run no suites; just compare --out against "
+                            "this baseline document")
+    bench.add_argument("--tolerance", type=float, default=0.25,
+                       help="allowed relative drop in gated ratios "
+                            "(default %(default)s)")
+    bench.add_argument("--json", action="store_true",
+                       help="machine-readable comparison report")
     bench.set_defaults(func=cmd_bench)
 
     stats = sub.add_parser(
@@ -555,8 +767,18 @@ def main(argv: list[str] | None = None) -> int:
                        help="PQL query to exercise (default: canned)")
     stats.add_argument("--trace", action="store_true",
                        help="also collect spans (reported as a count)")
+    stats.add_argument("--format", choices=("text", "json", "prom"),
+                       default="text",
+                       help="output format (prom = Prometheus text "
+                            "exposition; default %(default)s)")
     stats.add_argument("--json", action="store_true",
-                       help="machine-readable snapshot for CI")
+                       help="alias for --format json")
+    stats.add_argument("--rollup", metavar="DIMS",
+                       help="aggregate across dimensions: 'layer', "
+                            "'volume', or 'layer,volume'")
+    stats.add_argument("--out", metavar="FILE",
+                       help="write the exposition to FILE instead of "
+                            "stdout (prom format only)")
     stats.set_defaults(func=cmd_stats)
 
     trace = sub.add_parser(
@@ -567,9 +789,94 @@ def main(argv: list[str] | None = None) -> int:
                        help="PQL query to exercise (default: canned)")
     trace.add_argument("--limit", type=int, metavar="N",
                        help="only the newest N spans")
+    trace.add_argument("--format", choices=("text", "json", "chrome"),
+                       default="text",
+                       help="output format (chrome = trace-event JSON "
+                            "loadable in Perfetto; default %(default)s)")
     trace.add_argument("--json", action="store_true",
-                       help="machine-readable span list")
+                       help="alias for --format json")
+    trace.add_argument("--clock", choices=("wall", "sim"), default="wall",
+                       help="timestamp source for chrome output "
+                            "(default %(default)s)")
+    trace.add_argument("--out", metavar="FILE",
+                       help="write chrome output to FILE instead of "
+                            "stdout")
     trace.set_defaults(func=cmd_trace)
+
+    profile = sub.add_parser(
+        "profile", help="span-tree self-time profile / collapsed stacks")
+    profile.add_argument("--scenario", choices=sorted(SCENARIOS),
+                         default="quickstart")
+    profile.add_argument("--query", metavar="TEXT",
+                         help="PQL query to exercise (default: canned)")
+    profile.add_argument("--format", choices=("table", "collapsed"),
+                         default="table",
+                         help="table = top frames by self time; "
+                              "collapsed = Brendan Gregg folded stacks "
+                              "for flamegraph renderers "
+                              "(default %(default)s)")
+    profile.add_argument("--clock", choices=("wall", "sim"),
+                         default="wall",
+                         help="time base (default %(default)s)")
+    profile.add_argument("--top", type=int, default=20, metavar="N",
+                         help="table rows (default %(default)s)")
+    profile.add_argument("--out", metavar="FILE",
+                         help="write output to FILE instead of stdout")
+    profile.set_defaults(func=cmd_profile)
+
+    journal = sub.add_parser(
+        "journal", help="build a scenario with the event journal on "
+                        "and dump its events")
+    journal.add_argument("--scenario", choices=sorted(SCENARIOS),
+                         default="quickstart")
+    journal.add_argument("--query", metavar="TEXT",
+                         help="PQL query to exercise (default: canned)")
+    journal.add_argument("--kind", metavar="KIND",
+                         help="only events of this kind "
+                              "(e.g. log.group_commit)")
+    journal.add_argument("--limit", type=int, metavar="N",
+                         help="only the newest N events")
+    journal.add_argument("--slow-ms", type=float, metavar="MS",
+                         help="slow-query threshold override in "
+                              "milliseconds (0 records every query)")
+    journal.add_argument("--jsonl", action="store_true",
+                         help="one JSON object per line (the journal's "
+                              "native dump format)")
+    journal.set_defaults(func=cmd_journal)
+
+    health = sub.add_parser(
+        "health", help="SLO health verdict; exits nonzero on breach")
+    health.add_argument("--scenario", choices=sorted(SCENARIOS),
+                        default="quickstart")
+    health.add_argument("--query", metavar="TEXT",
+                        help="PQL probe query (default: canned)")
+    health.add_argument("--query-repeats", type=int, default=5,
+                        metavar="N",
+                        help="probe-query executions feeding the "
+                             "latency percentiles (default %(default)s)")
+    health.add_argument("--max-p50", type=float, default=0.5,
+                        metavar="S", help="query p50 SLO in seconds "
+                        "(default %(default)s)")
+    health.add_argument("--max-p99", type=float, default=2.0,
+                        metavar="S", help="query p99 SLO in seconds "
+                        "(default %(default)s)")
+    health.add_argument("--max-dropped-spans", type=int, default=0,
+                        metavar="N",
+                        help="span ring drops allowed "
+                             "(default %(default)s)")
+    health.add_argument("--min-ingest-speedup", type=float, default=2.0,
+                        metavar="X",
+                        help="batched-ingest speedup floor, checked "
+                             "against --bench (default %(default)s)")
+    health.add_argument("--bench", metavar="FILE",
+                        help="BENCH_results.json to fold into the "
+                             "verdict")
+    health.add_argument("--crashtest", metavar="FILE",
+                        help="'repro crashtest --json' report to fold "
+                             "into the verdict")
+    health.add_argument("--json", action="store_true",
+                        help="machine-readable verdict for CI")
+    health.set_defaults(func=cmd_health)
 
     crashtest = sub.add_parser(
         "crashtest",

@@ -57,6 +57,10 @@ class FaultInjector:
         self.trace: list[tuple[str, int, dict]] = []
         #: True once a crash fired; the machine is dead.
         self.halted = False
+        #: Observability handle (duck-typed; set by bind_obs).  Fired
+        #: faults are journaled through it so a crashtest failure can
+        #: be correlated with the exact span the fault fired in.
+        self._obs = None
         # Statistics (harvested by obs at snapshot time).
         self.faults_fired = 0
         self.fired_by_action: dict[str, int] = {}
@@ -87,6 +91,13 @@ class FaultInjector:
             self.faults_fired += 1
             self.fired_by_action[rule.action] = \
                 self.fired_by_action.get(rule.action, 0) + 1
+            if self._obs is not None:
+                # Unsampled: a fired fault is the event a crashtest
+                # post-mortem greps for.  The journal stamps the
+                # trace/span ids of whatever span is open right now.
+                self._obs.event("fault.fired", layer="faults",
+                                always=True, site=site, hit=hit,
+                                action=rule.action, param=rule.param)
             if rule.action == "crash":
                 self.halted = True
                 raise CrashFault(
@@ -109,7 +120,9 @@ class FaultInjector:
 
     def bind_obs(self, obs) -> None:
         """Expose fired-fault totals as a ``faults`` layer in the
-        metrics snapshot (collector: nothing on the hot path)."""
+        metrics snapshot (collector: nothing on the hot path), and keep
+        the handle so fired faults land in the event journal."""
+        self._obs = obs
         obs.add_collector("faults", self._obs_counters)
 
     def _obs_counters(self) -> dict:

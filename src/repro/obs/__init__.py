@@ -1,4 +1,4 @@
-"""Observability for the provenance pipeline (ISSUE 2).
+"""Observability for the provenance pipeline (ISSUE 2 + ISSUE 7).
 
 ``repro.obs`` is a *leaf* layer: it imports nothing from the rest of
 ``repro``, and every other layer may import it -- the same position
@@ -9,7 +9,15 @@
 * :class:`~repro.obs.metrics.MetricsRegistry` -- counters, gauges, and
   histograms keyed by Figure-2 layer (and volume where relevant);
 * :class:`~repro.obs.trace.Tracer` -- nestable spans over simulated and
-  wall clocks, collected in a ring buffer, exportable as JSON.
+  wall clocks, collected in a ring buffer, exportable as JSON;
+* :class:`~repro.obs.journal.EventJournal` -- bounded, sampled,
+  trace-correlated events from the hot-path seams (group commits,
+  drains, recovery, fault firings) plus the slow-query log.
+
+The export-and-analysis half (passview) sits beside them, still inside
+the leaf: :mod:`repro.obs.export` (Chrome trace / Prometheus text /
+collapsed stacks), :mod:`repro.obs.rollup` (dimension rollups), and
+:mod:`repro.obs.health` (SLO verdicts and benchmark comparison).
 
 Components that are wired without an explicit handle fall back to
 :data:`NULL_OBS`, a shared disabled instance, so instrumentation sites
@@ -20,6 +28,7 @@ from __future__ import annotations
 
 from typing import Callable, Optional
 
+from repro.obs.journal import EventJournal
 from repro.obs.metrics import Histogram, MetricsRegistry
 from repro.obs.trace import NULL_SPAN, Span, Tracer
 
@@ -36,14 +45,18 @@ LAYERS = FIGURE2_LAYERS + AUX_LAYERS
 
 
 class Observability:
-    """One machine's metrics registry + tracer, with shared toggles."""
+    """One machine's metrics + tracer + journal, with shared toggles."""
 
     def __init__(self, metrics_enabled: bool = True,
                  trace_enabled: bool = False,
+                 journal_enabled: bool = False,
                  sim_now: Optional[Callable[[], float]] = None):
         self.metrics = MetricsRegistry(enabled=metrics_enabled,
                                        layers=LAYERS)
         self.tracer = Tracer(enabled=trace_enabled, sim_now=sim_now)
+        self.journal = EventJournal(enabled=journal_enabled,
+                                    sim_now=sim_now)
+        self.journal.bind_tracer(self.tracer)
 
     # -- toggles ---------------------------------------------------------------
 
@@ -52,20 +65,26 @@ class Observability:
         """True when metric collection is on."""
         return self.metrics.enabled
 
-    def enable(self, tracing: Optional[bool] = None) -> None:
-        """Turn on metrics (and optionally set tracing)."""
+    def enable(self, tracing: Optional[bool] = None,
+               journal: Optional[bool] = None) -> None:
+        """Turn on metrics (and optionally set tracing / the journal)."""
         self.metrics.enabled = True
         if tracing is not None:
             self.tracer.enabled = tracing
+        if journal is not None:
+            self.journal.enabled = journal
 
     def disable(self) -> None:
-        """Turn off metrics and tracing."""
+        """Turn off metrics, tracing, and the journal."""
         self.metrics.enabled = False
         self.tracer.enabled = False
+        self.journal.enabled = False
 
     def bind_clock(self, sim_now: Callable[[], float]) -> None:
-        """Give spans access to the machine's simulated clock."""
+        """Give spans and journal events access to the machine's
+        simulated clock."""
         self.tracer.bind_clock(sim_now)
+        self.journal.bind_clock(sim_now)
 
     # -- convenience delegates (the surface layers actually use) --------------
 
@@ -88,18 +107,45 @@ class Observability:
     def span(self, name: str, layer: str = "", **tags):
         return self.tracer.span(name, layer=layer, **tags)
 
+    def event(self, kind: str, layer: str = "",
+              volume: Optional[str] = None, always: bool = False,
+              **fields) -> None:
+        """Journal one structured event (one branch when the journal is
+        off; see :meth:`EventJournal.emit`)."""
+        if self.journal.enabled:
+            self.journal.emit(kind, layer=layer, volume=volume,
+                              always=always, **fields)
+
+    def slow_query(self, text: str, wall_s: float, cache_hit: bool,
+                   rows: int = 0, plan: str = "") -> None:
+        """Record a query in the slow-query log if it crossed the
+        journal's latency threshold."""
+        if self.journal.enabled:
+            self.journal.slow_query(text, wall_s, cache_hit,
+                                    rows=rows, plan=plan)
+
     def stats(self) -> dict:
         """The metrics snapshot (layer -> counters/gauges/histograms)."""
         return self.metrics.snapshot()
 
     def trace(self) -> list[dict]:
-        """The finished spans, exported."""
+        """The finished spans, exported (list form; see
+        :meth:`trace_export` for the drop-count-carrying document)."""
+        return self.tracer.export()["spans"]
+
+    def trace_export(self) -> dict:
+        """The full trace document: ``{"spans", "dropped_spans"}``."""
         return self.tracer.export()
 
+    def journal_events(self, kind: Optional[str] = None) -> list[dict]:
+        """Retained journal events, oldest first."""
+        return self.journal.events(kind)
+
     def reset(self) -> None:
-        """Zero metrics and drop finished spans."""
+        """Zero metrics, drop finished spans, clear the journal."""
         self.metrics.reset()
         self.tracer.reset()
+        self.journal.reset()
 
 
 #: Shared disabled instance for components wired without a handle.
@@ -108,6 +154,7 @@ NULL_OBS = Observability(metrics_enabled=False, trace_enabled=False)
 
 __all__ = [
     "AUX_LAYERS",
+    "EventJournal",
     "FIGURE2_LAYERS",
     "Histogram",
     "LAYERS",

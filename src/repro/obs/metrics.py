@@ -73,11 +73,17 @@ class Histogram:
 
     def percentile(self, p: float) -> float:
         """The ``p``-th percentile (0..100) of the retained samples,
-        by linear interpolation between closest ranks."""
-        if not self._samples:
-            return 0.0
+        by linear interpolation between closest ranks.
+
+        An empty histogram has no percentiles: asking for one raises a
+        clear ``ValueError`` (callers that want zeros-for-empty use
+        :meth:`summary`, which guards the empty case itself)."""
         if not 0 <= p <= 100:
             raise ValueError(f"percentile out of range: {p}")
+        if not self._samples:
+            raise ValueError(
+                "percentile of an empty histogram is undefined "
+                "(no observations recorded)")
         ordered = sorted(self._samples)
         if len(ordered) == 1:
             return ordered[0]
@@ -88,7 +94,12 @@ class Histogram:
         return ordered[low] * (1.0 - frac) + ordered[high] * frac
 
     def summary(self) -> dict:
-        """Stable-schema dict used by ``repro stats --json``."""
+        """Stable-schema dict used by ``repro stats --json``.  An empty
+        histogram summarizes as all zeros (snapshots of idle layers
+        must stay renderable)."""
+        if not self.count:
+            return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0,
+                    "mean": 0.0, "p50": 0.0, "p90": 0.0, "p99": 0.0}
         return {
             "count": self.count,
             "sum": self.total,

@@ -64,7 +64,10 @@ class Span:
         self.tags[name] = value
 
     def to_dict(self) -> dict:
-        """Stable-schema dict used by ``repro trace --json``."""
+        """Stable-schema dict used by ``repro trace --json``.
+
+        ``wall_start`` is included for the Chrome trace exporter, which
+        needs absolute start stamps to lay spans on a timeline."""
         return {
             "name": self.name,
             "layer": self.layer,
@@ -73,6 +76,7 @@ class Span:
             "depth": self.depth,
             "sim_start": self.sim_start,
             "sim_elapsed": self.sim_elapsed,
+            "wall_start": self.wall_start,
             "wall_elapsed": self.wall_elapsed,
             "tags": dict(self.tags),
         }
@@ -115,12 +119,18 @@ class _ActiveSpan:
 
     def __exit__(self, *exc) -> None:
         span = self._span
-        span.sim_end = self._tracer._sim_now()
+        tracer = self._tracer
+        span.sim_end = tracer._sim_now()
         span.wall_end = time.perf_counter()
-        stack = self._tracer._stack
+        stack = tracer._stack
         if stack and stack[-1] is span:
             stack.pop()
-        self._tracer._finished.append(span)
+        finished = tracer._finished
+        if len(finished) == finished.maxlen:
+            # The ring is full: appending evicts the oldest finished
+            # span.  Count it -- a truncated trace must say so.
+            tracer.dropped_spans += 1
+        finished.append(span)
 
 
 class Tracer:
@@ -134,6 +144,9 @@ class Tracer:
         self._finished: deque[Span] = deque(maxlen=capacity)
         self._stack: list[Span] = []
         self._ids = itertools.count(1)
+        #: Finished spans evicted from the full ring (SLO: must be 0
+        #: for a trace to be trusted as complete).
+        self.dropped_spans = 0
 
     def bind_clock(self, sim_now: Callable[[], float]) -> None:
         """Point the tracer at the machine's simulated clock.
@@ -159,20 +172,37 @@ class Tracer:
         )
         return _ActiveSpan(self, span)
 
+    def current_ids(self) -> tuple[Optional[int], Optional[int]]:
+        """(trace_id, span_id) of the innermost open span, or (None,
+        None) outside any span.  The trace id is the root span's id, so
+        every event emitted under one top-level span shares it."""
+        stack = self._stack
+        if not stack:
+            return None, None
+        return stack[0].span_id, stack[-1].span_id
+
     # -- reads -----------------------------------------------------------------
 
     def spans(self) -> list[Span]:
         """Finished spans, oldest first (bounded by capacity)."""
         return list(self._finished)
 
-    def export(self) -> list[dict]:
-        """Finished spans as stable-schema dicts."""
-        return [span.to_dict() for span in self._finished]
+    def export(self) -> dict:
+        """Finished spans as stable-schema dicts, plus the drop count:
+        ``{"spans": [...], "dropped_spans": N}``.  A nonzero
+        ``dropped_spans`` means the ring overflowed and the span list
+        is the *newest* window, not the whole story."""
+        return {
+            "spans": [span.to_dict() for span in self._finished],
+            "dropped_spans": self.dropped_spans,
+        }
 
     def to_json(self, indent: Optional[int] = None) -> str:
         """The exported trace as a JSON document."""
         return json.dumps(self.export(), indent=indent, default=str)
 
     def reset(self) -> None:
-        """Drop all finished spans (open spans keep running)."""
+        """Drop all finished spans (open spans keep running) and zero
+        the drop count."""
         self._finished.clear()
+        self.dropped_spans = 0

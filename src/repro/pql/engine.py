@@ -89,6 +89,7 @@ class QueryEngine:
         self._check = check
         self._vocabulary = None
         self._vocab_epoch = _NEVER
+        self._last_plan_cache_hit = False
 
     # -- construction -----------------------------------------------------------
 
@@ -156,15 +157,21 @@ class QueryEngine:
     # -- compilation ------------------------------------------------------------
 
     def plan(self, text: str) -> CompiledPlan:
-        """Compile (and cache) one query, keyed by normalized text."""
+        """Compile (and cache) one query, keyed by normalized text.
+
+        Sets :attr:`_last_plan_cache_hit` so :meth:`execute` can report
+        the cache status to the slow-query log without re-normalizing.
+        """
         key = " ".join(text.split())
         cached = self._plans.get(key)
+        self._last_plan_cache_hit = cached is not None
         if cached is None:
             with self.obs.span("pql.parse", layer="pql"):
                 cached = CompiledPlan(key, parse(text))
             self._plans[key] = cached
             self.obs.inc("pql", "parses")
             self.obs.inc("pql", "plan_compiles")
+            self.obs.event("pql.plan_compile", layer="pql", query=key)
         else:
             self.obs.inc("pql", "parse_cache_hits")
         return cached
@@ -213,8 +220,14 @@ class QueryEngine:
         self.obs.inc("pql", "rows_returned", len(rows))
         # Evaluation timing is wall-clock: queries run above the simulated
         # machine, so perf work on the engine needs real seconds.
-        self.obs.observe("pql", "execute_wall_s",
-                         time.perf_counter() - started)
+        elapsed = time.perf_counter() - started
+        self.obs.observe("pql", "execute_wall_s", elapsed)
+        if self.obs.journal.enabled:
+            # The plan repr is only worth rendering when the journal
+            # can actually record it.
+            self.obs.slow_query(plan.text, elapsed,
+                                cache_hit=self._last_plan_cache_hit,
+                                rows=len(rows), plan=repr(plan.query))
         return rows
 
     def execute_refs(self, text: str) -> list:

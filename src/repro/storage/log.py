@@ -199,6 +199,10 @@ class ProvenanceLog:
             with self.obs.span("log.group_commit", layer="lasagna",
                                volume=self.volume_name) as span:
                 span.tag("records", len(buffer))
+                self.obs.event("log.group_commit", layer="lasagna",
+                               volume=self.volume_name,
+                               records=len(buffer), nbytes=size,
+                               txn=self._next_txn)
                 self.flush()
 
     @property

@@ -78,6 +78,15 @@ def recover(lasagna: Lasagna,
             database.insert(record)
     if consume:
         lasagna.log.reset_after_recovery()
+    # Recovery is rare and diagnosis-critical: journal it unsampled so
+    # a crashtest failure can be read back replay by replay.
+    lasagna.obs.event(
+        "recovery.replay", layer="waldo", volume=volume.name,
+        always=True, committed=len(report.committed_records),
+        orphaned=len(report.orphaned_records),
+        inconsistent=len(report.inconsistent_data),
+        torn_bytes=report.torn_bytes, consumed=consume,
+        inserted=database is not None)
     return report
 
 

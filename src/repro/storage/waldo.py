@@ -71,6 +71,7 @@ class Waldo:
         current segment should be included.
         """
         inserted = 0
+        segments = 0
         with self.obs.span("waldo.drain", layer="waldo",
                            volume=self.name) as span:
             self.log.take_closed()      # clear the log's own list
@@ -87,7 +88,11 @@ class Waldo:
                 inserted += self._process(segment)
                 self._pending_segments.pop(0)
                 self.segments_processed += 1
+                segments += 1
             span.tag("records", inserted)
+            self.obs.event("waldo.drain", layer="waldo", volume=self.name,
+                           records=inserted, segments=segments,
+                           orphaned=len(self.orphaned))
         self.drains += 1
         self.records_inserted += inserted
         # Replay throughput: how many committed records one drain moved

@@ -56,6 +56,10 @@ class BootConfig:
     clock: object = None
     observability: bool = True
     tracing: bool = False
+    #: Structured event journal (bounded, sampled JSONL events from the
+    #: hot-path seams plus the slow-query log).  Off by default: the
+    #: export half of observability is opt-in like tracing.
+    journal: bool = False
     faults: object = None
     #: Batched ingest path (observer event batches, analyzer
     #: submit_batch, log group commit, bulk Waldo drain).  ``False``
@@ -95,6 +99,7 @@ class System:
              clock=_UNSET,
              observability=_UNSET,
              tracing=_UNSET,
+             journal=_UNSET,
              faults=_UNSET,
              batching=_UNSET,
              config: Optional[BootConfig] = None) -> "System":
@@ -124,7 +129,8 @@ class System:
             params=params, pass_volumes=pass_volumes,
             plain_volumes=plain_volumes, provenance=provenance,
             hostname=hostname, clock=clock, observability=observability,
-            tracing=tracing, faults=faults, batching=batching)
+            tracing=tracing, journal=journal, faults=faults,
+            batching=batching)
         sim_params = cfg.params or SimParams()
         if not cfg.batching:
             # The unbatched arm must not group-commit either: zeroed
@@ -135,7 +141,8 @@ class System:
                     sim_params.log, group_commit_records=0,
                     group_commit_bytes=0))
         obs = Observability(metrics_enabled=cfg.observability,
-                            trace_enabled=cfg.tracing)
+                            trace_enabled=cfg.tracing,
+                            journal_enabled=cfg.journal)
         kernel = Kernel(sim_params, hostname=cfg.hostname, clock=cfg.clock,
                         obs=obs, faults=cfg.faults)
         if cfg.faults is not None:
@@ -259,6 +266,14 @@ class System:
     def trace(self) -> list[dict]:
         """Finished spans (boot with ``tracing=True`` to collect)."""
         return self.kernel.obs.trace()
+
+    def trace_export(self) -> dict:
+        """The full trace document: ``{"spans", "dropped_spans"}``."""
+        return self.kernel.obs.trace_export()
+
+    def journal_events(self, kind: Optional[str] = None) -> list[dict]:
+        """Journal events (boot with ``journal=True`` to collect)."""
+        return self.kernel.obs.journal_events(kind)
 
     def elapsed(self) -> float:
         """Simulated seconds since *this* system booted (monotonic even

@@ -98,9 +98,11 @@ class TestOtherCommands:
         assert suites["ingest"]["schema"] == "repro-bench-ingest/1"
         assert (suites["incremental_query"]["schema"]
                 == "repro-bench-incremental/1")
+        assert suites["obs_overhead"]["schema"] == "repro-bench-obs/1"
         for payload in suites.values():
             assert payload["records_total"] > 0
-            assert payload["speedup"] > 0
+        assert suites["ingest"]["speedup"] > 0
+        assert "overhead_pct" in suites["obs_overhead"]
 
     def test_bench_suite_merge_preserves_legacy_payload(self, tmp_path,
                                                         capsys):
@@ -149,7 +151,9 @@ class TestOtherCommands:
 
     def test_trace_json_with_limit(self, capsys):
         assert main(["trace", "--json", "--limit", "3"]) == 0
-        spans = json.loads(capsys.readouterr().out)
+        document = json.loads(capsys.readouterr().out)
+        assert document["dropped_spans"] == 0
+        spans = document["spans"]
         assert len(spans) == 3
         assert spans[-1]["name"] == "pql.execute"
 
@@ -160,3 +164,135 @@ class TestOtherCommands:
     def test_unknown_scenario_rejected(self):
         with pytest.raises(SystemExit):
             main(["demo", "--scenario", "nope"])
+
+
+class TestPassviewCommands:
+    def test_stats_prom_format(self, capsys):
+        assert main(["stats", "--format", "prom"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_records_inserted counter" in out
+        assert 'layer="waldo"' in out
+        # Every non-comment line is "<name_and_labels> <value>".
+        for line in out.splitlines():
+            if line.startswith("#"):
+                continue
+            _, _, value = line.rpartition(" ")
+            float(value)
+
+    def test_stats_rollup_by_volume(self, capsys):
+        assert main(["stats", "--rollup", "volume", "--format",
+                     "json"]) == 0
+        rolled = json.loads(capsys.readouterr().out)
+        assert "pass" in rolled
+        assert rolled["pass"]["counters"]["records_inserted"] > 0
+
+    def test_trace_chrome_format(self, capsys):
+        assert main(["trace", "--format", "chrome"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        events = document["traceEvents"]
+        assert events[0]["ph"] == "M"
+        xs = [e for e in events if e["ph"] == "X"]
+        assert any(e["name"] == "waldo.drain" for e in xs)
+        for event in xs:
+            assert event["dur"] >= 0
+
+    def test_trace_chrome_to_file(self, tmp_path, capsys):
+        target = tmp_path / "trace.json"
+        assert main(["trace", "--format", "chrome",
+                     "--out", str(target)]) == 0
+        json.loads(target.read_text())
+
+    def test_profile_table(self, capsys):
+        assert main(["profile"]) == 0
+        out = capsys.readouterr().out
+        assert "pql:pql.execute" in out
+        assert "%" in out
+
+    def test_profile_collapsed(self, capsys):
+        assert main(["profile", "--format", "collapsed"]) == 0
+        out = capsys.readouterr().out
+        assert "waldo:waldo.drain" in out
+        for line in out.splitlines():
+            int(line.rsplit(" ", 1)[1])
+
+    def test_journal_text(self, capsys):
+        assert main(["journal"]) == 0
+        captured = capsys.readouterr()
+        assert "waldo.drain" in captured.out
+        assert "events" in captured.err
+
+    def test_journal_jsonl_and_kind_filter(self, capsys):
+        assert main(["journal", "--jsonl", "--kind", "waldo.drain"]) == 0
+        lines = capsys.readouterr().out.splitlines()
+        assert lines
+        for line in lines:
+            assert json.loads(line)["kind"] == "waldo.drain"
+
+    def test_journal_slow_threshold_zero_records_queries(self, capsys):
+        assert main(["journal", "--jsonl", "--kind", "pql.slow_query",
+                     "--slow-ms", "0"]) == 0
+        lines = capsys.readouterr().out.splitlines()
+        assert lines
+        event = json.loads(lines[0])
+        assert "cache_hit" in event and "wall_s" in event
+
+    def test_health_ok(self, capsys):
+        assert main(["health"]) == 0
+        assert "health: OK" in capsys.readouterr().out
+
+    def test_health_injected_breach_exits_nonzero(self, capsys):
+        assert main(["health", "--max-p99", "0.0"]) == 1
+        out = capsys.readouterr().out
+        assert "health: FAIL" in out
+        assert "query_p99_s" in out
+
+    def test_health_json_verdict(self, capsys):
+        assert main(["health", "--json"]) == 0
+        verdict = json.loads(capsys.readouterr().out)
+        assert verdict["ok"] is True
+        names = {check["name"] for check in verdict["checks"]}
+        assert {"span_buffer_drops", "query_p99_s",
+                "wap_violations"} <= names
+
+    def test_bench_against_compares_two_documents(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        current = tmp_path / "current.json"
+        baseline.write_text(json.dumps(
+            {"suites": {"ingest": {"speedup": 4.0}}}))
+        current.write_text(json.dumps(
+            {"suites": {"ingest": {"speedup": 3.8}}}))
+        assert main(["bench", "--against", str(baseline),
+                     "--out", str(current)]) == 0
+        assert "bench compare: OK" in capsys.readouterr().out
+
+    def test_bench_against_regression_exits_nonzero(self, tmp_path,
+                                                    capsys):
+        baseline = tmp_path / "baseline.json"
+        current = tmp_path / "current.json"
+        baseline.write_text(json.dumps(
+            {"suites": {"ingest": {"speedup": 4.0}}}))
+        current.write_text(json.dumps(
+            {"suites": {"ingest": {"speedup": 1.0}}}))
+        assert main(["bench", "--against", str(baseline),
+                     "--out", str(current)]) == 1
+        assert "REGRESSED" in capsys.readouterr().out
+
+    def test_bench_against_missing_file_errors(self, tmp_path, capsys):
+        assert main(["bench", "--against", str(tmp_path / "nope.json"),
+                     "--out", "-"]) == 2
+
+    def test_bench_compare_runs_suites_then_gates(self, tmp_path, capsys):
+        target = tmp_path / "BENCH_results.json"
+        # First run: no baseline yet -- results become the baseline.
+        assert main(["bench", "--suite", "ingest", "--quick",
+                     "--out", str(target),
+                     "--compare", str(target)]) == 0
+        assert "become the baseline" in capsys.readouterr().err
+        # Second run compares against the first.  Quick-scale speedup
+        # is noisy run to run; a wide tolerance keeps this a test of
+        # the compare mechanics, not of benchmark stability.
+        assert main(["bench", "--suite", "ingest", "--quick",
+                     "--out", str(target),
+                     "--compare", str(target),
+                     "--tolerance", "0.9"]) == 0
+        assert "bench compare:" in capsys.readouterr().out

@@ -1,0 +1,256 @@
+"""Unit tests for the exporters (repro.obs.export) and rollups
+(repro.obs.rollup)."""
+
+import json
+
+import pytest
+
+from repro.obs.export import (
+    chrome_trace,
+    chrome_trace_json,
+    collapsed_stacks,
+    profile_table,
+    prom_label_value,
+    prom_name,
+    prometheus_text,
+)
+from repro.obs.rollup import journal_rollup, merge_summaries, rollup
+from repro.obs.trace import Tracer
+
+
+def traced_spans():
+    """A small real span tree: root -> (child-a, child-b)."""
+    tracer = Tracer(enabled=True)
+    with tracer.span("root", layer="system"):
+        with tracer.span("child-a", layer="waldo", volume="pass") as a:
+            a.tag("records", 3)
+        with tracer.span("child-b", layer="pql"):
+            pass
+    return tracer.export()["spans"]
+
+
+SNAPSHOT = {
+    "lasagna": {
+        "counters": {"flushes": 5, "batch_records": 23},
+        "gauges": {},
+        "histograms": {},
+        "volumes": {
+            "pass": {"counters": {"flushes": 3, "batch_records": 23},
+                     "gauges": {}, "histograms": {}},
+            "export": {"counters": {"flushes": 2},
+                       "gauges": {}, "histograms": {}},
+        },
+    },
+    "pql": {
+        "counters": {"queries_executed": 4},
+        "gauges": {"plan_cache_size": 2},
+        "histograms": {
+            "execute_wall_s": {"count": 4, "sum": 0.4, "min": 0.05,
+                               "max": 0.2, "mean": 0.1, "p50": 0.08,
+                               "p90": 0.18, "p99": 0.2},
+        },
+    },
+}
+
+
+class TestChromeTrace:
+    def test_document_shape(self):
+        spans = traced_spans()
+        document = chrome_trace(spans)
+        events = document["traceEvents"]
+        assert events[0]["ph"] == "M"            # process_name metadata
+        xs = [e for e in events if e["ph"] == "X"]
+        assert {e["name"] for e in xs} == {"root", "child-a", "child-b"}
+        for event in xs:
+            assert event["ts"] >= 0.0
+            assert event["dur"] >= 0.0
+            assert event["pid"] == 1
+
+    def test_children_sit_on_deeper_tid(self):
+        spans = traced_spans()
+        events = {e["name"]: e for e in chrome_trace(spans)["traceEvents"]
+                  if e["ph"] == "X"}
+        assert events["root"]["tid"] == 1
+        assert events["child-a"]["tid"] == 2
+
+    def test_parent_id_and_tags_in_args(self):
+        spans = traced_spans()
+        events = {e["name"]: e for e in chrome_trace(spans)["traceEvents"]
+                  if e["ph"] == "X"}
+        root_id = events["root"]["args"]["span_id"]
+        assert events["child-a"]["args"]["parent_id"] == root_id
+        assert events["child-a"]["args"]["records"] == 3
+
+    def test_sim_clock_selectable(self):
+        spans = traced_spans()
+        document = chrome_trace(spans, clock="sim")
+        assert document["otherData"]["clock"] == "sim"
+        with pytest.raises(ValueError):
+            chrome_trace(spans, clock="nonsense")
+
+    def test_json_is_deterministic_and_parseable(self):
+        spans = traced_spans()
+        first = chrome_trace_json(spans)
+        second = chrome_trace_json(spans)
+        assert first == second                   # byte-identical
+        parsed = json.loads(first)
+        assert parsed["otherData"]["spans"] == 3
+
+
+class TestPromNames:
+    def test_dotted_parts_join_with_underscores(self):
+        assert prom_name("repro", "execute_wall_s") == "repro_execute_wall_s"
+
+    def test_illegal_characters_collapse(self):
+        assert prom_name("repro", "a.b-c d") == "repro_a_b_c_d"
+
+    def test_leading_digit_gains_an_underscore(self):
+        assert prom_name("9lives") == "_9lives"
+
+    def test_empty_input(self):
+        assert prom_name("") == "_"
+
+
+class TestPromEscaping:
+    def test_backslash_quote_newline(self):
+        assert prom_label_value('a\\b"c\nd') == 'a\\\\b\\"c\\nd'
+
+    def test_unusual_label_values_survive_exposition(self):
+        snapshot = {
+            'we"ird\nlayer\\name': {
+                "counters": {"events": 1}, "gauges": {}, "histograms": {},
+            },
+        }
+        text = prometheus_text(snapshot)
+        assert 'layer="we\\"ird\\nlayer\\\\name"' in text
+        # No raw newline may survive inside a sample line.
+        for line in text.splitlines():
+            assert line.startswith("#") or " " in line
+
+
+class TestPrometheusText:
+    def test_exposition_is_deterministic(self):
+        assert prometheus_text(SNAPSHOT) == prometheus_text(SNAPSHOT)
+
+    def test_counters_carry_layer_and_volume_labels(self):
+        text = prometheus_text(SNAPSHOT)
+        assert 'repro_flushes{layer="lasagna"} 5' in text
+        assert 'repro_flushes{layer="lasagna",volume="pass"} 3' in text
+        assert 'repro_flushes{layer="lasagna",volume="export"} 2' in text
+
+    def test_histograms_become_summaries(self):
+        text = prometheus_text(SNAPSHOT)
+        assert "# TYPE repro_execute_wall_s summary" in text
+        assert ('repro_execute_wall_s{layer="pql",quantile="0.99"} 0.2'
+                in text)
+        assert 'repro_execute_wall_s_sum{layer="pql"} 0.4' in text
+        assert 'repro_execute_wall_s_count{layer="pql"} 4' in text
+
+    def test_type_comment_precedes_samples(self):
+        lines = prometheus_text(SNAPSHOT).splitlines()
+        seen_types = set()
+        for line in lines:
+            if line.startswith("# TYPE "):
+                seen_types.add(line.split()[2])
+            else:
+                metric = line.split("{")[0].split(" ")[0]
+                base = metric
+                for suffix in ("_sum", "_count"):
+                    if metric.endswith(suffix) \
+                            and metric[:-len(suffix)] in seen_types:
+                        base = metric[:-len(suffix)]
+                assert base in seen_types, line
+
+    def test_every_sample_line_parses(self):
+        for line in prometheus_text(SNAPSHOT).splitlines():
+            if line.startswith("#"):
+                continue
+            name_and_labels, _, value = line.rpartition(" ")
+            assert name_and_labels
+            float(value)                     # must be numeric
+
+
+class TestCollapsedStacks:
+    def test_folded_paths_and_self_time(self):
+        spans = traced_spans()
+        lines = collapsed_stacks(spans).splitlines()
+        paths = [line.rsplit(" ", 1)[0] for line in lines]
+        assert "system:root" in paths
+        assert "system:root;waldo:child-a" in paths
+        assert "system:root;pql:child-b" in paths
+        for line in lines:
+            int(line.rsplit(" ", 1)[1])      # integer microseconds
+
+    def test_output_is_deterministic(self):
+        spans = traced_spans()
+        assert collapsed_stacks(spans) == collapsed_stacks(spans)
+
+    def test_self_time_excludes_children(self):
+        # Root's self time must be <= its elapsed minus children's.
+        spans = traced_spans()
+        by_name = {s["name"]: s for s in spans}
+        lines = dict(line.rsplit(" ", 1)
+                     for line in collapsed_stacks(spans).splitlines())
+        root_self = int(lines["system:root"])
+        root_total = int(round(by_name["root"]["wall_elapsed"] * 1e6))
+        assert root_self <= root_total
+
+    def test_empty_input(self):
+        assert collapsed_stacks([]) == ""
+
+
+class TestProfileTable:
+    def test_top_frames_render(self):
+        table = profile_table(traced_spans())
+        assert "system:root" in table
+        assert "%" in table.splitlines()[0]
+
+    def test_top_limits_rows(self):
+        table = profile_table(traced_spans(), top=1)
+        assert len(table.splitlines()) == 2      # header + one row
+
+
+class TestRollup:
+    def test_by_layer_uses_folded_totals(self):
+        rolled = rollup(SNAPSHOT, by=("layer",))
+        assert rolled["lasagna"]["counters"]["flushes"] == 5
+        assert rolled["pql"]["counters"]["queries_executed"] == 4
+
+    def test_by_volume_aggregates_across_layers(self):
+        rolled = rollup(SNAPSHOT, by=("volume",))
+        assert rolled["pass"]["counters"]["flushes"] == 3
+        assert rolled["export"]["counters"]["flushes"] == 2
+        # Layers without volumes land under the wildcard.
+        assert rolled["*"]["counters"]["queries_executed"] == 4
+
+    def test_by_layer_and_volume(self):
+        rolled = rollup(SNAPSHOT, by=("layer", "volume"))
+        assert rolled["lasagna/pass"]["counters"]["flushes"] == 3
+        assert rolled["pql/*"]["counters"]["queries_executed"] == 4
+
+    def test_unknown_dimension_raises(self):
+        with pytest.raises(ValueError):
+            rollup(SNAPSHOT, by=("site",))
+
+    def test_histograms_merge_conservatively(self):
+        merged = merge_summaries([
+            {"count": 2, "sum": 1.0, "min": 0.1, "max": 0.9,
+             "mean": 0.5, "p50": 0.5, "p90": 0.8, "p99": 0.9},
+            {"count": 2, "sum": 3.0, "min": 1.0, "max": 2.0,
+             "mean": 1.5, "p50": 1.5, "p90": 1.9, "p99": 2.0},
+        ])
+        assert merged["count"] == 4
+        assert merged["sum"] == 4.0
+        assert merged["min"] == 0.1 and merged["max"] == 2.0
+        assert merged["mean"] == 1.0
+        assert merged["p99"] == 2.0              # max = upper bound
+
+
+class TestJournalRollup:
+    def test_counts_by_kind(self):
+        events = [{"kind": "a", "records": 5},
+                  {"kind": "a", "records": 2},
+                  {"kind": "b"}]
+        rolled = journal_rollup(events, by="kind", value_field="records")
+        assert rolled["a"] == {"events": 2, "records": 7}
+        assert rolled["b"] == {"events": 1}

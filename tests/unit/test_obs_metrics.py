@@ -72,10 +72,25 @@ class TestHistogram:
         s = h.summary()
         assert s["p50"] == s["p99"] == 3.0
 
-    def test_empty_summary(self):
+    def test_empty_summary_is_all_zeros(self):
         s = Histogram().summary()
-        assert s["count"] == 0
-        assert s["mean"] == 0.0
+        assert s == {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0,
+                     "mean": 0.0, "p50": 0.0, "p90": 0.0, "p99": 0.0}
+
+    def test_empty_percentile_raises_clearly(self):
+        with pytest.raises(ValueError, match="empty histogram"):
+            Histogram().percentile(50)
+
+    def test_out_of_range_percentile_raises(self):
+        h = Histogram()
+        h.observe(1.0)
+        with pytest.raises(ValueError):
+            h.percentile(-1)
+        with pytest.raises(ValueError):
+            h.percentile(101)
+        # Range is validated even on an empty histogram.
+        with pytest.raises(ValueError):
+            Histogram().percentile(101)
 
     def test_ring_bounds_samples_but_not_totals(self):
         h = Histogram()

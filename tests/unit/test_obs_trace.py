@@ -80,12 +80,49 @@ class TestRing:
                 pass
         assert [s.name for s in tracer.spans()] == ["s2", "s3", "s4"]
 
+    def test_evictions_are_counted_as_drops(self):
+        tracer = Tracer(enabled=True, capacity=3)
+        for i in range(5):
+            with tracer.span(f"s{i}"):
+                pass
+        assert tracer.dropped_spans == 2
+        assert tracer.export()["dropped_spans"] == 2
+
+    def test_no_drops_below_capacity(self):
+        tracer = Tracer(enabled=True, capacity=3)
+        for i in range(3):
+            with tracer.span(f"s{i}"):
+                pass
+        assert tracer.dropped_spans == 0
+
     def test_reset_drops_finished(self):
         tracer = Tracer(enabled=True)
         with tracer.span("gone"):
             pass
         tracer.reset()
         assert tracer.spans() == []
+
+    def test_reset_zeroes_the_drop_count(self):
+        tracer = Tracer(enabled=True, capacity=1)
+        for i in range(3):
+            with tracer.span(f"s{i}"):
+                pass
+        tracer.reset()
+        assert tracer.dropped_spans == 0
+
+
+class TestCurrentIds:
+    def test_outside_any_span(self):
+        tracer = Tracer(enabled=True)
+        assert tracer.current_ids() == (None, None)
+
+    def test_trace_id_is_the_root_span(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("root") as root:
+            with tracer.span("leaf") as leaf:
+                trace_id, span_id = tracer.current_ids()
+        assert trace_id == root.span_id
+        assert span_id == leaf.span_id
 
 
 class TestExport:
@@ -94,12 +131,14 @@ class TestExport:
         tracer = Tracer(enabled=True, sim_now=clock)
         with tracer.span("drain", layer="waldo", volume="pass") as span:
             span.tag("records", 7)
-        (exported,) = tracer.export()
+        document = tracer.export()
+        assert document["dropped_spans"] == 0
+        (exported,) = document["spans"]
         assert exported["name"] == "drain"
         assert exported["layer"] == "waldo"
         assert exported["tags"] == {"volume": "pass", "records": 7}
         for key in ("span_id", "parent_id", "depth", "sim_start",
-                    "sim_elapsed", "wall_elapsed"):
+                    "sim_elapsed", "wall_start", "wall_elapsed"):
             assert key in exported
 
     def test_to_json_round_trips(self):
@@ -107,7 +146,8 @@ class TestExport:
         with tracer.span("a"):
             pass
         parsed = json.loads(tracer.to_json())
-        assert [s["name"] for s in parsed] == ["a"]
+        assert [s["name"] for s in parsed["spans"]] == ["a"]
+        assert parsed["dropped_spans"] == 0
 
 
 class TestDisabled:
