@@ -80,7 +80,7 @@ def vignette_orphaned_txn(server_sys, server):
     # ... the client crashes here: no ENDTXN ever arrives.
     server.volume.lasagna.log.flush()
     server.volume.lasagna.log.rotate()
-    waldo = server_sys.waldos["export"]
+    waldo = server_sys.tier.waldo("export")
     waldo.drain()
     in_db = {r.value for r in waldo.database.all_records()
              if r.attr == Attr.NAME}

@@ -468,12 +468,16 @@ def cmd_health(args: argparse.Namespace) -> int:
 BENCH_SCHEMA = "repro-bench/1"
 
 #: Registered benchmark suites for ``bench --suite``: suite name ->
-#: (module in benchmarks/, full-scale kwargs, --quick kwargs).  Each
-#: module exposes ``run(**kwargs) -> payload``; payloads are merged
-#: into the suite document by ``benchmarks._bench_io.merge_results``.
+#: (entry point in benchmarks/, full-scale kwargs, --quick kwargs).
+#: An entry point is a module name (its ``run(**kwargs) -> payload``)
+#: or ``module:function`` for modules exposing several suites; payloads
+#: are merged into the suite document by
+#: ``benchmarks._bench_io.merge_results``.
 BENCH_SUITES = {
     "ingest": ("bench_ingest",
                {}, {"rounds": 2, "files": 24, "repeats": 1}),
+    "ingest_sharded": ("bench_ingest:run_sharded",
+                       {}, {"rounds": 2, "files": 24}),
     "incremental_query": ("bench_incremental_query",
                           {}, {"rounds": 3, "files": 30}),
     "obs_overhead": ("bench_obs_overhead",
@@ -512,11 +516,13 @@ def _run_bench_suites(args: argparse.Namespace) -> int:
         _sys.path.insert(0, bench_dir)
     merge_results = importlib.import_module("_bench_io").merge_results
     for name in names:
-        module_name, full, quick = BENCH_SUITES[name]
+        entry, full, quick = BENCH_SUITES[name]
+        module_name, _, func_name = entry.partition(":")
         kwargs = quick if args.quick else full
         # Targets come from the static BENCH_SUITES registry above --
         # never repro-internal modules, never user input.
-        payload = importlib.import_module(module_name).run(**kwargs)  # lint: disable=PL305
+        module = importlib.import_module(module_name)  # lint: disable=PL305
+        payload = getattr(module, func_name or "run")(**kwargs)
         if "speedup" in payload:
             print(f"{name}: {payload['records_total']} records, "
                   f"{payload['speedup']:.1f}x speedup")
@@ -605,7 +611,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
     for workload_cls in ALL_WORKLOADS:
         workload = workload_cls(scale=args.scale)
         base = run_local(workload, provenance=False)
-        passv2 = run_local(workload, provenance=True)
+        passv2 = run_local(workload, provenance=True, shards=args.shards)
         print(f"{workload.name:22s}{base.elapsed:>9.1f}s"
               f"{passv2.elapsed:>9.1f}s"
               f"{overhead_pct(base, passv2):>9.1f}%")
@@ -638,7 +644,14 @@ def cmd_crashtest(args: argparse.Namespace) -> int:
             print(f"crashtest: unknown workload {name!r} "
                   f"(have: {', '.join(sorted(WORKLOADS))})", file=sys.stderr)
             return 2
-    report = explore(names, seed=args.seed)
+    config = None
+    if args.shards != 1:
+        import dataclasses
+
+        from repro.crashlab.workloads import BOOT
+
+        config = dataclasses.replace(BOOT, shards=args.shards)
+    report = explore(names, seed=args.seed, config=config)
     if args.json:
         print(report.render_json())
     else:
@@ -664,8 +677,8 @@ def cmd_crashtest(args: argparse.Namespace) -> int:
 def cmd_inspect(args: argparse.Namespace) -> int:
     system = build_quickstart()
     kernel = system.kernel
-    lasagna = kernel.volume("pass").lasagna
-    waldo = system.waldos["pass"]
+    tier = system.tier
+    lasagna = tier.lasagna("pass")
     print("PASSv2 components after the quickstart scenario:")
     print(f"  interceptor   events={dict(kernel.interceptor.counts)}")
     print(f"  analyzer      in={kernel.analyzer.records_in} "
@@ -674,10 +687,15 @@ def cmd_inspect(args: argparse.Namespace) -> int:
           f"freezes={kernel.analyzer.freezes}")
     print(f"  distributor   cached={kernel.distributor.records_cached} "
           f"flushed={kernel.distributor.records_flushed}")
-    print(f"  lasagna       flushes={lasagna.log.flushes} "
-          f"log-bytes={lasagna.log.bytes_logged}")
-    print(f"  waldo         records={len(waldo.database)} "
-          f"sizes={waldo.sizes()}")
+    for log in lasagna.shard_logs:
+        print(f"  lasagna       [{log.volume_name}] flushes={log.flushes} "
+              f"log-bytes={log.bytes_logged}")
+    for waldo in tier.waldos("pass"):
+        print(f"  waldo         [{waldo.name}] "
+              f"records={len(waldo.database)} sizes={waldo.sizes()}")
+    sizes = tier.sizes()
+    print(f"  tier          {len(tier.volumes())} volume(s) x "
+          f"{tier.shards_per_volume} shard(s) total={sizes['total']}")
     return 0
 
 
@@ -757,6 +775,9 @@ def main(argv: list[str] | None = None) -> int:
                             "(default %(default)s)")
     bench.add_argument("--json", action="store_true",
                        help="machine-readable comparison report")
+    bench.add_argument("--shards", type=int, default=1, metavar="N",
+                       help="storage-tier shards per PASS volume for "
+                            "the workload table (default %(default)s)")
     bench.set_defaults(func=cmd_bench)
 
     stats = sub.add_parser(
@@ -887,6 +908,9 @@ def main(argv: list[str] | None = None) -> int:
                            help="fault-plan seed (default %(default)s)")
     crashtest.add_argument("--json", action="store_true",
                            help="machine-readable report for CI")
+    crashtest.add_argument("--shards", type=int, default=1, metavar="N",
+                           help="storage-tier shards per PASS volume "
+                                "(default %(default)s)")
     crashtest.set_defaults(func=cmd_crashtest)
 
     inspect = sub.add_parser("inspect",

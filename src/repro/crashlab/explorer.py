@@ -47,11 +47,8 @@ from repro.crashlab.workloads import BOOT, WORKLOADS
 from repro.faults import CRASHABLE, FaultError, FaultInjector, FaultPlan
 from repro.storage.fsck import FsckReport, fsck
 from repro.storage.log import md5_unpack
-from repro.storage.recovery import RecoveryReport, recover
+from repro.storage.recovery import RecoveryReport
 from repro.system import System
-
-#: The PASS volume scenarios write to (System.boot default).
-PASS_VOLUME = "pass"
 
 #: Site -> actions the explorer replays there.  Every crashable site
 #: gets a plain crash; the log append additionally gets a mid-sector
@@ -86,34 +83,35 @@ class ScenarioResult:
 
 
 def run_crash_scenario(workload: Callable[[System], None],
-                       plan: Optional[FaultPlan] = None) -> ScenarioResult:
+                       plan: Optional[FaultPlan] = None,
+                       config=None) -> ScenarioResult:
     """Run ``workload`` under ``plan``, crash the machine (at the plan's
     fault, or after a clean finish), recover, and judge the outcome.
 
     This is the primitive both the explorer and the hypothesis property
-    tests drive: any plan, any workload, same verdict logic.
+    tests drive: any plan, any workload, same verdict logic.  The whole
+    crash/recover path goes through the storage tier, so it exercises
+    every shard of a sharded boot (``config`` overrides the default
+    single-shard :data:`BOOT`).
     """
     injector = FaultInjector(plan, record_trace=True)
-    system = System.boot(config=BOOT, faults=injector)
+    system = System.boot(config=config or BOOT, faults=injector)
     fault: Optional[FaultError] = None
     try:
         workload(system)
     except FaultError as exc:
         fault = exc
     # The machine is dead either way; only durable state survives.
-    lasagna = system.kernel.volume(PASS_VOLUME).lasagna
-    waldo = system.waldos[PASS_VOLUME]
-    requeued = waldo.crash()
-    lost = lasagna.crash()
-    report = recover(lasagna, database=waldo.database, consume=True)
+    requeued, lost = system.tier.crash()
+    report = system.tier.recover(consume=True)
     fsck_report = fsck(system.databases())
-    db_records = len(waldo.database)
-    second = recover(lasagna, database=waldo.database, consume=True)
+    db_records = sum(len(db) for db in system.databases())
+    second = system.tier.recover(consume=True)
     idempotent = (second.clean
                   and not second.committed_records
                   and second.torn_bytes == 0
-                  and len(waldo.database) == db_records)
-    violations = wap_violations(injector.trace, waldo.database, report)
+                  and sum(len(db) for db in system.databases()) == db_records)
+    violations = wap_violations(injector.trace, system.databases(), report)
     return ScenarioResult(
         fault=fault, lost_records=lost, requeued_segments=requeued,
         report=report, second_report=second, fsck_report=fsck_report,
@@ -121,15 +119,21 @@ def run_crash_scenario(workload: Callable[[System], None],
         db_records=db_records, injector=injector, system=system)
 
 
-def wap_violations(trace, database, report: RecoveryReport,
+def wap_violations(trace, databases, report: RecoveryReport,
                    ) -> list[tuple[int, int, int]]:
     """Completed data writes with neither committed provenance nor an
-    inconsistency flag -- each one falsifies the WAP invariant."""
+    inconsistency flag -- each one falsifies the WAP invariant.
+
+    ``databases`` is one database or a list (a sharded volume's MD5
+    records span every shard database)."""
+    if not isinstance(databases, (list, tuple)):
+        databases = [databases]
     covered: set[tuple[int, int, int]] = set()
-    for record in database.all_records():
-        if record.attr == Attr.MD5 and isinstance(record.value, bytes):
-            offset, length, _ = md5_unpack(record.value)
-            covered.add((record.subject.pnode, offset, length))
+    for database in databases:
+        for record in database.all_records():
+            if record.attr == Attr.MD5 and isinstance(record.value, bytes):
+                offset, length, _ = md5_unpack(record.value)
+                covered.add((record.subject.pnode, offset, length))
     flagged = {(ref.pnode, offset, length)
                for ref, offset, length in report.inconsistent_data}
     violations: list[tuple[int, int, int]] = []
@@ -254,23 +258,26 @@ class ExplorerReport:
         return json.dumps(self.to_dict(), indent=2, sort_keys=True)
 
 
-def discover(workload: Callable[[System], None]) -> FaultInjector:
+def discover(workload: Callable[[System], None],
+             config=None) -> FaultInjector:
     """Trace run: which sites does this workload reach, how often?"""
     injector = FaultInjector(record_trace=True)
-    system = System.boot(config=BOOT, faults=injector)
+    system = System.boot(config=config or BOOT, faults=injector)
     workload(system)
     return injector
 
 
 def explore(workloads: Optional[list[str]] = None,
-            seed: int = 0) -> ExplorerReport:
+            seed: int = 0, config=None) -> ExplorerReport:
     """Enumerate every reachable crash point of each workload and
-    replay the workload once per point (same seed)."""
+    replay the workload once per point (same seed).  ``config``
+    overrides the boot topology -- ``repro crashtest --shards N``
+    explores the same workloads over a sharded tier."""
     names = list(workloads) if workloads else sorted(WORKLOADS)
     report = ExplorerReport(seed=seed, workloads=names)
     for name in names:
         workload = WORKLOADS[name]
-        trace_injector = discover(workload)
+        trace_injector = discover(workload, config=config)
         report.site_hits[name] = {
             site: hits for site, hits in trace_injector.hits.items()
             if site in CRASHABLE}
@@ -280,7 +287,7 @@ def explore(workloads: Optional[list[str]] = None,
             for action in _ACTIONS_AT.get(site, _DEFAULT_ACTIONS):
                 plan = FaultPlan(seed=seed).add(
                     site, action, nth=hit, param=TORN_PARAM)
-                result = run_crash_scenario(workload, plan)
+                result = run_crash_scenario(workload, plan, config=config)
                 report.points.append(CrashPointResult(
                     workload=name, site=site, hit=hit, action=action,
                     fired=result.injector.faults_fired > 0,

@@ -67,6 +67,18 @@ SITES: tuple[SiteSpec, ...] = (
              "Waldo is about to ingest one closed segment; crashing "
              "here leaves the segment un-ingested (Waldo.crash requeues "
              "it for recovery)"),
+    SiteSpec("shard.drain.pre", "storage",
+             (),
+             "the storage tier is about to drain one shard's Waldo "
+             "(payload: volume, shard index, queued segments); crashing "
+             "here dies between shards -- already-drained shards are in "
+             "their databases, this one and later ones recover from "
+             "their logs"),
+    SiteSpec("federate.merge", "storage",
+             (),
+             "the tier is assembling the federated source list (every "
+             "shard database) for a live query engine; an io_error here "
+             "models a shard refusing queries"),
     SiteSpec("distributor.flush", "core",
              (),
              "cached transient-object records are about to materialize "
@@ -81,12 +93,13 @@ SITES: tuple[SiteSpec, ...] = (
 
 #: Sites where replaying a workload with an injected crash is
 #: meaningful for the WAP invariant (the explorer's enumeration set).
-#: ``disk.read`` changes no durable state and ``net.call`` belongs to
-#: the NFS pair harness (tests/integration/test_nfs_faults.py), so
-#: neither is explored by default.
+#: ``disk.read`` changes no durable state, ``net.call`` belongs to the
+#: NFS pair harness (tests/integration/test_nfs_faults.py), and
+#: ``federate.merge`` is a query-path site (no durable state moves), so
+#: none of those is explored by default.
 CRASHABLE = tuple(
     spec.name for spec in SITES
-    if spec.name not in ("disk.read", "net.call"))
+    if spec.name not in ("disk.read", "net.call", "federate.merge"))
 
 
 def site_names() -> tuple[str, ...]:

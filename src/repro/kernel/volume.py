@@ -133,8 +133,8 @@ class Volume:
         )
         # The journal is a sequential, batch-committed region.
         self.disk.clustered_write(nbytes)
-        if self.lasagna is not None and self.lasagna.log.buffered_records:
-            self.lasagna.log.flush()
+        if self.lasagna is not None:
+            self.lasagna.flush_buffered()
 
     def _ensure_blocks(self, inode: Inode, size: int) -> None:
         """Grow the inode's extents to cover ``size`` bytes."""

@@ -103,6 +103,15 @@ class ProvenanceDatabase:
         """
         self._batch_listeners.append(listener)
 
+    @property
+    def has_subscribers(self) -> bool:
+        """Whether any push-feed listener is registered.  Concurrent
+        shard drains only need to serialize their inserts when a
+        listener exists -- listeners may share one federated OEM
+        graph; a subscriber-free database is touched by its own drain
+        alone."""
+        return bool(self._listeners or self._batch_listeners)
+
     def insert_many(self, records: Iterable[ProvenanceRecord]) -> int:
         """Insert a batch; returns how many records were added.
 

@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.core.errors import KernelError
+from repro.core.pnode import shard_of
 from repro.core.records import Attr, Bundle, ProvenanceRecord, RecordBatch
 from repro.kernel.params import SimParams
 from repro.kernel.vfs import Inode
@@ -37,7 +38,7 @@ class Lasagna:
     """Stackable provenance-aware file system over one volume."""
 
     def __init__(self, volume: Volume, params: Optional[SimParams] = None,
-                 obs=NULL_OBS, faults=None):
+                 obs=NULL_OBS, faults=None, shards: int = 1):
         if not volume.pass_capable:
             from repro.core.errors import NotPassVolume
             raise NotPassVolume(
@@ -48,10 +49,21 @@ class Lasagna:
         self.obs = obs
         #: Fault injector (repro.faults); None keeps the write path bare.
         self._faults = faults
-        self.log = ProvenanceLog(
-            volume.clock, self.params.log, disk_write=self._log_disk_write,
-            faults=faults, obs=obs, volume_name=volume.name,
-        )
+        #: Intra-volume WAP-log shards (1 = the classic single log).
+        #: Records route by subject-pnode hash, so a subject's records
+        #: stay ordered within one shard; ``self.log`` aliases shard 0
+        #: for the unsharded API surface (and IS the log at shards=1).
+        self.shards = max(1, int(shards))
+        self.shard_logs: list[ProvenanceLog] = []
+        for index in range(self.shards):
+            label = (volume.name if self.shards == 1
+                     else f"{volume.name}/s{index}")
+            self.shard_logs.append(ProvenanceLog(
+                volume.clock, self.params.log,
+                disk_write=self._log_disk_write,
+                faults=faults, obs=obs, volume_name=label,
+            ))
+        self.log = self.shard_logs[0]
         volume.lasagna = self
         volume.fs_top = self
         #: Fault injection: crash after the WAP flush, before this many
@@ -69,8 +81,12 @@ class Lasagna:
         # (harvested at snapshot time; the write path stays bare).
         obs.add_collector("lasagna", self._obs_counters,
                           volume=volume.name)
-        obs.add_collector("lasagna", self.log.obs_counters,
-                          volume=volume.name)
+        for log in self.shard_logs:
+            # At shards=1 the single log reports under the volume name
+            # exactly as before; sharded logs carry shard-suffixed
+            # volume labels (``pass/s0``...), see docs/OBSERVABILITY.md.
+            obs.add_collector("lasagna", log.obs_counters,
+                              volume=log.volume_name)
 
     def _obs_counters(self) -> dict:
         return {
@@ -113,17 +129,45 @@ class Lasagna:
         if isinstance(bundle, RecordBatch):
             self.obs.observe("lasagna", "batch_size", len(bundle),
                              volume=self.volume.name)
-            self.log.append_batch(bundle.records)
+            if self.shards == 1:
+                self.log.append_batch(bundle.records)
+                return
+            # Split by subject shard, preserving order within each
+            # bucket (and therefore within each subject: all of a
+            # subject's records hash to the same shard).
+            count = self.shards
+            buckets: list[list] = [[] for _ in range(count)]
+            for record in bundle.records:
+                buckets[shard_of(record.subject.pnode, count)].append(
+                    record)
+            for log, bucket in zip(self.shard_logs, buckets):
+                if bucket:
+                    log.append_batch(bucket)
             return
+        if self.shards == 1:
+            for record in bundle:
+                self.log.append(record)
+            return
+        logs = self.shard_logs
+        count = self.shards
         for record in bundle:
-            self.log.append(record)
+            logs[shard_of(record.subject.pnode, count)].append(record)
 
     def sync(self) -> None:
-        """Flush the log, rotate it, and let Waldo drain it."""
+        """Flush every shard log, rotate it, and let Waldo drain it."""
         with self.obs.span("lasagna.sync", layer="lasagna",
                            volume=self.volume.name):
-            self.log.flush()
-            self.log.rotate()
+            for log in self.shard_logs:
+                log.flush()
+                log.rotate()
+
+    def flush_buffered(self) -> None:
+        """Flush any shard log holding buffered records (the journal's
+        ordered-mode coupling: metadata commits force pending
+        provenance out first)."""
+        for log in self.shard_logs:
+            if log.buffered_records:
+                log.flush()
 
     # -- stackable data path -----------------------------------------------------------
 
@@ -142,12 +186,27 @@ class Lasagna:
         # large writes the ordering point hides inside the multi-block
         # transfer, so the barrier latency is waived.
         digest = data_digest(data, nbytes)
-        self.log.append(ProvenanceRecord(
+        subject_log = (self.log if self.shards == 1 else
+                       self.shard_logs[shard_of(inode.pnode, self.shards)])
+        subject_log.append(ProvenanceRecord(
             inode.ref(), Attr.MD5, md5_value(offset, nbytes, digest),
         ))
         self._waive_barrier = nbytes >= 65536
         try:
-            self.log.flush(txn_subject=inode.ref())
+            if self.shards > 1:
+                # WAP spans objects: ancestors' records may sit in other
+                # shards' buffers (the distributor flushed them to us
+                # first), so every shard goes durable before the data.
+                # One ordering point per data write: the other shards
+                # ride the clustered queue barrier-free, the subject's
+                # shard pays the barrier (exactly the single-log cost).
+                waived = self._waive_barrier
+                self._waive_barrier = True
+                for log in self.shard_logs:
+                    if log is not subject_log and log.buffered_records:
+                        log.flush()
+                self._waive_barrier = waived
+            subject_log.flush(txn_subject=inode.ref())
         finally:
             self._waive_barrier = False
         if self.fail_before_data_write:
@@ -183,10 +242,14 @@ class Lasagna:
     # -- crash simulation -----------------------------------------------------------------
 
     def crash(self, drop_tail_bytes: int = 0) -> int:
-        """Machine crash: unflushed provenance is lost; optionally tear
-        the on-disk log tail.  Returns lost record count."""
+        """Machine crash: unflushed provenance is lost across every
+        shard; an optional torn tail applies to shard 0 (the only shard
+        at the default topology).  Returns lost record count."""
         self.fail_before_data_write = False
-        return self.log.crash(drop_tail_bytes)
+        lost = self.log.crash(drop_tail_bytes)
+        for log in self.shard_logs[1:]:
+            lost += log.crash()
+        return lost
 
     def __repr__(self) -> str:
         return f"<Lasagna over {self.volume.name}>"

@@ -148,6 +148,14 @@ class ProvenanceLog:
         self.rotations = 0
         self.batch_records = 0
         self.batch_flushes = 0
+        #: Opt-in wall-clock accounting (set to ``time.perf_counter`` to
+        #: enable).  ``wall_seconds`` then accumulates real time spent in
+        #: ``append_batch``/``flush`` -- the work a per-shard storage
+        #: worker would own -- measured at the outermost entry only, so
+        #: a group commit inside ``append_batch`` is not double-counted.
+        self.wall_clock: Optional[Callable[[], float]] = None
+        self.wall_seconds = 0.0
+        self._wall_depth = 0
 
     def obs_counters(self) -> dict:
         """WAP log totals, harvested by the observability layer (the
@@ -183,6 +191,19 @@ class ProvenanceLog:
         write or sync that would have forced it), so group commit can
         never weaken write-ahead provenance.
         """
+        clock = self.wall_clock
+        if clock is not None and self._wall_depth == 0:
+            self._wall_depth += 1
+            started = clock()
+            try:
+                self._append_batch(records)
+            finally:
+                self._wall_depth -= 1
+                self.wall_seconds += clock() - started
+            return
+        self._append_batch(records)
+
+    def _append_batch(self, records) -> None:
         raws = self._encoder.encode_list(records)
         buffer = self._buffer
         buffer.extend(records)
@@ -224,6 +245,19 @@ class ProvenanceLog:
         flush precedes); when the buffer is empty nothing is written and
         None is returned, else the transaction id.
         """
+        clock = self.wall_clock
+        if clock is not None and self._wall_depth == 0:
+            self._wall_depth += 1
+            started = clock()
+            try:
+                return self._flush(txn_subject)
+            finally:
+                self._wall_depth -= 1
+                self.wall_seconds += clock() - started
+        return self._flush(txn_subject)
+
+    def _flush(self, txn_subject: Optional[ObjectRef] = None
+               ) -> Optional[int]:
         if not self._buffer:
             return None
         faults = self._faults

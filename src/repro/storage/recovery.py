@@ -46,13 +46,18 @@ class RecoveryReport:
         return not self.orphaned_records and not self.inconsistent_data
 
 
-def recover(lasagna: Lasagna,
-            database=None, consume: bool = False) -> RecoveryReport:
+def recover(lasagna: Lasagna, database=None, consume: bool = False,
+            log=None) -> RecoveryReport:
     """Replay a volume's provenance log after a crash.
 
     Committed records are optionally inserted into ``database`` (pass
     Waldo's database to rebuild it); the report lists orphans and any
     data whose checksum proves it was mid-write.
+
+    ``log`` selects one shard log of a sharded volume (defaults to
+    ``lasagna.log``, which IS the volume's only log unsharded); the
+    storage tier replays each shard against its own database and merges
+    the reports.
 
     With ``consume=True`` the log is reset after the replay (the
     recovered records now live in the database), which makes recovery
@@ -61,8 +66,10 @@ def recover(lasagna: Lasagna,
     """
     report = RecoveryReport()
     volume = lasagna.volume
+    if log is None:
+        log = lasagna.log
 
-    for segment in lasagna.log.all_segments():
+    for segment in log.all_segments():
         raw = bytes(segment.raw)
         decoded = list(codec.decode_stream(raw))
         consumed = _bytes_consumed(decoded)
@@ -77,7 +84,7 @@ def recover(lasagna: Lasagna,
         for record in report.committed_records:
             database.insert(record)
     if consume:
-        lasagna.log.reset_after_recovery()
+        log.reset_after_recovery()
     # Recovery is rare and diagnosis-critical: journal it unsampled so
     # a crashtest failure can be read back replay by replay.
     lasagna.obs.event(

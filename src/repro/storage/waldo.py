@@ -14,6 +14,7 @@ than touching the database directly.
 
 from __future__ import annotations
 
+import warnings
 from typing import Optional
 
 from repro.core.records import Attr, ProvenanceRecord
@@ -23,12 +24,12 @@ from repro.storage.log import LogSegment, ProvenanceLog
 
 
 class Waldo:
-    """One Waldo daemon per PASS volume."""
+    """One Waldo daemon per shard log (one per PASS volume unsharded)."""
 
     def __init__(self, log: ProvenanceLog,
                  database: Optional[ProvenanceDatabase] = None,
                  name: str = "waldo", obs=NULL_OBS, faults=None,
-                 batching: bool = True):
+                 batching: bool = True, insert_lock=None, archive=None):
         self.log = log
         self.database = database or ProvenanceDatabase(name)
         self.name = name
@@ -39,6 +40,15 @@ class Waldo:
         self.batching = batching
         #: Fault injector (repro.faults); None keeps drain() bare.
         self._faults = faults
+        #: Held around the database insert (and thus the push-feed
+        #: fan-out into any live OEM graph) when the storage tier drains
+        #: shards in parallel: the transaction walk runs concurrently,
+        #: the merge into shared query state does not.  None (the
+        #: single-shard default) keeps the path lock-free.
+        self._insert_lock = insert_lock
+        #: Optional :class:`repro.storage.tier.SegmentArchive` that
+        #: retains drained segments (bounded by its compaction policy).
+        self.archive = archive
         #: Records discarded because their transaction never committed.
         self.orphaned: list[ProvenanceRecord] = []
         self.segments_processed = 0
@@ -63,6 +73,11 @@ class Waldo:
     def _segment_closed(self, segment: LogSegment) -> None:
         """inotify stand-in: queue the segment for processing."""
         self._pending_segments.append(segment)
+
+    @property
+    def pending_segment_count(self) -> int:
+        """Closed segments queued but not yet drained."""
+        return len(self._pending_segments)
 
     def drain(self) -> int:
         """Process every queued closed segment; returns records inserted.
@@ -89,6 +104,8 @@ class Waldo:
                 self._pending_segments.pop(0)
                 self.segments_processed += 1
                 segments += 1
+                if self.archive is not None:
+                    self.archive.add(segment)
             span.tag("records", inserted)
             self.obs.event("waldo.drain", layer="waldo", volume=self.name,
                            records=inserted, segments=segments,
@@ -133,6 +150,18 @@ class Waldo:
             self.orphaned.extend(batch)
         if not ready:
             return 0
+        # The insert lock serializes the push feed into the shared
+        # federated OEM graph; with no subscribers the database is
+        # private to this shard's drain and inserts run lock-free.
+        lock = self._insert_lock
+        if lock is not None and self.database.has_subscribers:
+            with lock:
+                self._insert(ready)
+        else:
+            self._insert(ready)
+        return len(ready)
+
+    def _insert(self, ready: list[ProvenanceRecord]) -> None:
         if self.batching:
             with self.obs.span("waldo.drain_batch", layer="waldo",
                                volume=self.name) as span:
@@ -142,7 +171,6 @@ class Waldo:
             insert = self.database.insert
             for record in ready:
                 insert(record)
-        return len(ready)
 
     # -- crash simulation --------------------------------------------------------------
 
@@ -164,23 +192,31 @@ class Waldo:
     # -- query service -----------------------------------------------------------------
 
     def query_engine(self):
-        """The single live PQL engine over this Waldo's database:
-        'Waldo is also responsible for accessing the database on behalf
-        of the query engine' (section 5.1).
+        """Deprecated: a live PQL engine over this one shard's database.
 
-        Built once, then kept current by the database's push feed --
-        every record a drain (or recovery replay) inserts is spliced
-        into the engine's OEM graph, so repeated calls return the same
-        object and never re-scan the database.
+        Under sharding a volume's provenance spans several databases;
+        query through ``System.query_engine()`` (the tier's federated
+        engine) instead.  Kept as a thin wrapper because 'Waldo is also
+        responsible for accessing the database on behalf of the query
+        engine' (section 5.1) was the original API.
         """
+        warnings.warn(
+            "Waldo.query_engine() is deprecated; use "
+            "System.query_engine() (the StorageTier federated engine)",
+            DeprecationWarning, stacklevel=2)
+        return self._shard_engine()
+
+    def _shard_engine(self):
+        """The single live engine over this shard's database -- built
+        once, then kept current by the database's push feed."""
         if self._engine is None:
             from repro.pql.engine import QueryEngine
             self._engine = QueryEngine.live([self.database], obs=self.obs)
         return self._engine
 
     def query(self, text: str) -> list:
-        """Run one PQL query against this volume's provenance."""
-        return self.query_engine().execute(text)
+        """Run one PQL query against this shard's provenance."""
+        return self._shard_engine().execute(text)
 
     def sizes(self) -> dict[str, int]:
         """Database / index byte sizes (Table 3)."""

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import contextlib
 import dataclasses
+import warnings
 from typing import Iterable, Optional
 
 from repro.core.pnode import ObjectRef
@@ -29,7 +30,7 @@ from repro.kernel.params import SimParams
 from repro.kernel.syscalls import Syscalls
 from repro.obs import Observability
 from repro.storage.database import ProvenanceDatabase
-from repro.storage.lasagna import Lasagna
+from repro.storage.tier import CompactionPolicy, StorageTier
 from repro.storage.waldo import Waldo
 
 #: "Caller did not pass this kwarg" sentinel, so explicit None (e.g.
@@ -66,6 +67,16 @@ class BootConfig:
     #: boots the per-record legacy pipeline *and* zeroes the log's
     #: group-commit thresholds -- the ingest benchmark's baseline arm.
     batching: bool = True
+    #: Storage topology (see repro.storage.tier).  ``shards`` splits
+    #: each PASS volume's WAP log / Waldo / database into that many
+    #: intra-volume shards (1 = the classic single pipeline, byte
+    #: identical); ``shard_key`` is ``"pnode"`` (hash the subject pnode
+    #: across shards) or ``"volume"`` (one shard per volume regardless
+    #: of count); ``compaction`` bounds the drained-segment archives
+    #: (None = the default CompactionPolicy).
+    shards: int = 1
+    shard_key: str = "pnode"
+    compaction: Optional[CompactionPolicy] = None
 
     def with_overrides(self, **overrides) -> "BootConfig":
         """A copy with every non-``_UNSET`` override applied."""
@@ -77,10 +88,12 @@ class BootConfig:
 class System:
     """A booted machine: kernel + storage + provenance pipeline."""
 
-    def __init__(self, kernel: Kernel, waldos: dict[str, Waldo],
+    def __init__(self, kernel: Kernel, tier: StorageTier,
                  provenance: bool):
         self.kernel = kernel
-        self.waldos = waldos
+        #: The storage facade: sharded WAP logs, Waldo drains, shard
+        #: databases, query federation (repro.storage.tier).
+        self.tier = tier
         self.provenance = provenance
         self._query_engine = None
         # Shared clocks (NFS pairs, sequential benchmark systems) carry
@@ -102,6 +115,9 @@ class System:
              journal=_UNSET,
              faults=_UNSET,
              batching=_UNSET,
+             shards=_UNSET,
+             shard_key=_UNSET,
+             compaction=_UNSET,
              config: Optional[BootConfig] = None) -> "System":
         """Boot a machine from a :class:`BootConfig`.
 
@@ -130,7 +146,8 @@ class System:
             plain_volumes=plain_volumes, provenance=provenance,
             hostname=hostname, clock=clock, observability=observability,
             tracing=tracing, journal=journal, faults=faults,
-            batching=batching)
+            batching=batching, shards=shards, shard_key=shard_key,
+            compaction=compaction)
         sim_params = cfg.params or SimParams()
         if not cfg.batching:
             # The unbatched arm must not group-commit either: zeroed
@@ -147,21 +164,19 @@ class System:
                         obs=obs, faults=cfg.faults)
         if cfg.faults is not None:
             cfg.faults.bind_obs(obs)
-        waldos: dict[str, Waldo] = {}
+        tier = StorageTier(shards=cfg.shards, shard_key=cfg.shard_key,
+                           compaction=cfg.compaction, obs=kernel.obs,
+                           faults=cfg.faults, batching=cfg.batching)
         for name in cfg.pass_volumes:
             volume = kernel.add_volume(name, f"/{name}", pass_capable=True)
             if cfg.provenance:
-                lasagna = Lasagna(volume, kernel.params, obs=kernel.obs,
-                                  faults=cfg.faults)
-                waldos[name] = Waldo(lasagna.log, name=name, obs=kernel.obs,
-                                     faults=cfg.faults,
-                                     batching=cfg.batching)
+                tier.attach(volume, kernel.params)
         for name in cfg.plain_volumes:
             kernel.add_volume(name, f"/{name}", pass_capable=False)
         if cfg.provenance:
             kernel.enable_provenance(batching=cfg.batching)
             kernel.cache.shrink(kernel.params.cache.stack_cache_factor)
-        return cls(kernel, waldos, cfg.provenance)
+        return cls(kernel, tier, cfg.provenance)
 
     # -- running programs ---------------------------------------------------------------
 
@@ -188,31 +203,44 @@ class System:
 
     # -- provenance plumbing -----------------------------------------------------------------
 
+    @property
+    def waldos(self) -> dict[str, Waldo]:
+        """Deprecated: volume -> shard-0 Waldo.
+
+        The pre-tier API exposed one Waldo per volume; under sharding a
+        volume has several.  This view keeps old call sites working
+        (it IS the complete picture at ``shards=1``) but new code
+        should go through :attr:`tier`.
+        """
+        warnings.warn(
+            "System.waldos is deprecated; use System.tier "
+            "(StorageTier) -- a sharded volume has several Waldos",
+            DeprecationWarning, stacklevel=2)
+        return self.tier.shard0_waldos()
+
     def sync(self) -> int:
-        """Flush all logs and drain all Waldos; returns records inserted.
+        """Flush all logs and drain every shard; returns records inserted.
 
         The live query engine (if one has been handed out) absorbs the
         drained records through the databases' push feed, so a sync is
         an O(new records) update -- the engine is never invalidated.
         """
-        inserted = 0
         with self.obs.span("system.sync", layer="system"):
-            for volume in self.kernel.pass_volumes():
-                if volume.lasagna is not None:
-                    volume.lasagna.sync()
-            for waldo in self.waldos.values():
-                inserted += waldo.drain()
-        return inserted
+            return self.tier.sync()
+
+    def sizes(self) -> dict:
+        """Tier-wide database/index byte sizes (Table 3 rollup)."""
+        return self.tier.sizes()
 
     def databases(self) -> list[ProvenanceDatabase]:
-        """Every volume's provenance database."""
-        return [waldo.database for waldo in self.waldos.values()]
+        """Every shard database of every volume."""
+        return self.tier.databases()
 
     def database(self, volume: Optional[str] = None) -> ProvenanceDatabase:
-        """One volume's database (the first PASS volume by default)."""
-        if volume is None:
-            volume = next(iter(self.waldos))
-        return self.waldos[volume].database
+        """One volume's shard-0 database (first PASS volume by default).
+        Under sharding a volume's provenance spans all of its shard
+        databases -- use :meth:`databases` or the query engine."""
+        return self.tier.database(volume)
 
     # -- queries --------------------------------------------------------------------------
 
@@ -239,7 +267,7 @@ class System:
         if self._query_engine is None:
             from repro.pql.engine import QueryEngine
             self._query_engine = QueryEngine.live(
-                self.databases(), obs=self.obs)
+                self.tier.federated_sources(), obs=self.obs)
         return self._query_engine
 
     def ancestry(self, name: str):

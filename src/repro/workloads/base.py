@@ -78,11 +78,15 @@ class Workload(abc.ABC):
 
 
 def run_local(workload: Workload, provenance: bool,
-              params: Optional[SimParams] = None) -> WorkloadResult:
-    """One machine: PASSv2 (provenance=True) or vanilla ext3."""
+              params: Optional[SimParams] = None,
+              shards: int = 1) -> WorkloadResult:
+    """One machine: PASSv2 (provenance=True) or vanilla ext3.
+
+    ``shards`` selects the storage-tier topology (intra-volume WAP-log
+    shards; 1 = the classic single pipeline)."""
     system = System.boot(config=BootConfig(
         params=params, provenance=provenance,
-        pass_volumes=("pass",), plain_volumes=()))
+        pass_volumes=("pass",), plain_volumes=(), shards=shards))
     clock = system.kernel.clock
     volume = system.kernel.volume("pass")
     workload.setup(system, "/pass")
@@ -100,7 +104,9 @@ def run_local(workload: Workload, provenance: bool,
     )
     if provenance:
         system.sync()
-        sizes = system.waldos["pass"].sizes()
+        # Tier rollup: sums every shard database, so a sharded run's
+        # Table 3 columns do not undercount.
+        sizes = system.tier.sizes("pass")
         result.provenance_bytes = sizes["database"]
         result.index_bytes = sizes["indexes"]
     result.layer_metrics = system.stats()
@@ -139,7 +145,7 @@ def run_nfs(workload: Workload, provenance: bool,
     if provenance:
         client.sync()
         server_sys.sync()
-        sizes = server_sys.waldos["export"].sizes()
+        sizes = server_sys.tier.sizes("export")
         result.provenance_bytes = sizes["database"]
         result.index_bytes = sizes["indexes"]
     result.stats["network_calls"] = network.calls

@@ -1,0 +1,85 @@
+"""Crashing one shard mid-drain leaves the other shards consistent.
+
+The sharded tier's crash story: ``shard.drain.pre`` fires before each
+shard's Waldo drains, so a plan that crashes there dies *between*
+shards -- some shard databases already hold their drained records, the
+remaining shards still hold theirs in closed log segments.  Recovery
+must replay exactly the undrained shards, end fsck-clean, preserve the
+WAP invariant, and be idempotent; crashing at the last shard of the
+final drain must recover the full clean-run record count (nothing was
+buffered, so nothing is allowed to be lost).
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.crashlab import WORKLOADS, discover, run_crash_scenario
+from repro.crashlab.workloads import BOOT
+from repro.faults import FaultPlan
+
+SHARDED = dataclasses.replace(BOOT, shards=4)
+
+
+def _clean_total(config) -> int:
+    """Record count a fault-free run of churn leaves in the tier."""
+    result = run_crash_scenario(WORKLOADS["churn"], plan=None,
+                                config=config)
+    assert result.fault is None
+    return result.db_records
+
+
+class TestShardCrashMidDrain:
+    @pytest.fixture(scope="class")
+    def shard_drain_hits(self):
+        injector = discover(WORKLOADS["churn"], config=SHARDED)
+        return injector.hits.get("shard.drain.pre", 0)
+
+    def test_sharded_boot_reaches_the_shard_drain_site(
+            self, shard_drain_hits):
+        # One hit per (volume, shard) per drain: 4 shards, >=1 sync.
+        assert shard_drain_hits >= 4
+
+    def test_crash_between_shards_recovers_clean(self, shard_drain_hits):
+        """Crash before the *second* shard of a drain: shard 0's records
+        are in its database, shards 1-3 recover from their logs."""
+        plan = FaultPlan().add("shard.drain.pre", "crash", nth=2)
+        result = run_crash_scenario(WORKLOADS["churn"], plan,
+                                    config=SHARDED)
+        assert result.fault is not None
+        assert getattr(result.fault, "site", None) == "shard.drain.pre"
+        assert result.wap_violations == []
+        assert result.fsck_report.clean
+        assert result.idempotent
+
+    def test_crash_at_last_shard_loses_nothing(self, shard_drain_hits):
+        """Crash before the final shard of the final drain: every record
+        already reached a log, so recovery restores the exact clean-run
+        total across the union of shard databases."""
+        plan = FaultPlan().add("shard.drain.pre", "crash",
+                               nth=shard_drain_hits)
+        result = run_crash_scenario(WORKLOADS["churn"], plan,
+                                    config=SHARDED)
+        assert result.fault is not None
+        assert result.wap_violations == []
+        assert result.fsck_report.clean
+        assert result.idempotent
+        assert result.db_records == _clean_total(SHARDED)
+
+    def test_other_shards_keep_their_records(self):
+        """After a crash between shards and recovery, several shard
+        databases are populated -- the dead shard did not take the
+        others down with it."""
+        plan = FaultPlan().add("shard.drain.pre", "crash", nth=3)
+        result = run_crash_scenario(WORKLOADS["churn"], plan,
+                                    config=SHARDED)
+        populated = [db for db in result.system.tier.databases("pass")
+                     if len(db)]
+        assert len(result.system.tier.databases("pass")) == 4
+        assert len(populated) >= 2
+        assert result.fsck_report.clean
+
+
+class TestShardedVsSingleShardTotals:
+    def test_clean_runs_agree_across_topologies(self):
+        assert _clean_total(SHARDED) == _clean_total(BOOT)
