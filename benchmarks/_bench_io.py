@@ -24,6 +24,7 @@ SUITE_NAMES = {
     "repro-bench-ingest": "ingest",
     "repro-bench-incremental": "incremental_query",
     "repro-bench-obs": "obs_overhead",
+    "repro-bench-pql": "pql_perf",
     "repro-bench": "workloads",
 }
 

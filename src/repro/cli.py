@@ -148,11 +148,37 @@ def cmd_demo(args: argparse.Namespace) -> int:
 
 def cmd_query(args: argparse.Namespace) -> int:
     """Run PQL against a previously saved database export."""
+    import json
+
     from repro.pql.engine import QueryEngine
     from repro.storage.database import ProvenanceDatabase
 
     database = ProvenanceDatabase.load(args.db)
     engine = QueryEngine.live([database])
+    if args.explain:
+        report = engine.explain(args.query)
+        if args.json:
+            print(json.dumps(report, indent=2, sort_keys=True,
+                             default=str))
+        else:
+            print(f"query: {report['query']}")
+            print(f"rows: {report['rows']}")
+            for binding in report["bindings"]:
+                line = (f"  {binding['variable']}: {binding['access']}"
+                        f" (est={binding['est_rows']}"
+                        f" actual={binding['actual_rows']})")
+                detail = binding.get("detail")
+                if detail:
+                    rendered = ", ".join(f"{key}={value}" for key, value
+                                         in sorted(detail.items()))
+                    line += f" [{rendered}]"
+                steps = binding.get("steps")
+                if steps:
+                    rendered = ", ".join(f"{key}x{value}" for key, value
+                                         in sorted(steps.items()))
+                    line += f" via {rendered}"
+                print(line)
+        return 0
     for row in engine.execute(args.query):
         print(_render_row(row))
     return 0
@@ -439,6 +465,7 @@ def cmd_health(args: argparse.Namespace) -> int:
         max_query_p50_s=args.max_p50,
         max_query_p99_s=args.max_p99,
         min_ingest_speedup=args.min_ingest_speedup,
+        min_pql_speedup=args.min_pql_speedup,
     )
     system = SCENARIOS[args.scenario](tracing=True, journal=True)
     for _ in range(max(1, args.query_repeats)):
@@ -482,6 +509,8 @@ BENCH_SUITES = {
                           {}, {"rounds": 3, "files": 30}),
     "obs_overhead": ("bench_obs_overhead",
                      {}, {"rounds": 2, "files": 40}),
+    "pql_perf": ("bench_pql_perf",
+                 {}, {"files": 2000, "lookups": 30, "closures": 10}),
 }
 
 
@@ -723,6 +752,12 @@ def main(argv: list[str] | None = None) -> int:
     query.add_argument("--db", required=True,
                        help="database export from 'demo --save'")
     query.add_argument("query", help="PQL query text")
+    query.add_argument("--explain", action="store_true",
+                       help="print the planner's per-binding access "
+                            "choices (index / scan / view, estimated "
+                            "vs actual rows) instead of result rows")
+    query.add_argument("--json", action="store_true",
+                       help="with --explain: machine-readable plan")
     query.set_defaults(func=cmd_query)
 
     fsck_cmd = sub.add_parser("fsck",
@@ -889,6 +924,11 @@ def main(argv: list[str] | None = None) -> int:
                         metavar="X",
                         help="batched-ingest speedup floor, checked "
                              "against --bench (default %(default)s)")
+    health.add_argument("--min-pql-speedup", type=float, default=5.0,
+                        metavar="X",
+                        help="query-planner speedup floor (pql_perf "
+                             "suite), checked against --bench "
+                             "(default %(default)s)")
     health.add_argument("--bench", metavar="FILE",
                         help="BENCH_results.json to fold into the "
                              "verdict")

@@ -38,6 +38,7 @@ COMPARE_METRICS = {
     "ingest_sharded": ("speedup", "higher"),
     "incremental_query": ("speedup", "higher"),
     "obs_overhead": ("overhead_pct", "lower"),
+    "pql_perf": ("speedup", "higher"),
 }
 
 #: Informational (never gating) per-suite metrics worth reporting.
@@ -46,6 +47,8 @@ REPORT_METRICS = {
     "ingest_sharded": ("shards_1.storage_records_per_sec",
                        "shards_4.storage_records_per_sec"),
     "obs_overhead": ("disabled_overhead_pct",),
+    "pql_perf": ("point_lookup.speedup", "ancestry.speedup",
+                 "records_total"),
 }
 
 
@@ -72,6 +75,10 @@ class SLOPolicy:
     #: Obs overhead ceiling, checked when the benchmark document
     #: carries the obs_overhead suite.
     max_obs_overhead_pct: float = OVERHEAD_BUDGET_PCT
+    #: Query-planner speedup floor (min of indexed point lookups and
+    #: materialized ancestry closure vs the naive path), checked when
+    #: the benchmark document carries the pql_perf suite.
+    min_pql_speedup: float = 5.0
 
 
 @dataclass
@@ -196,6 +203,21 @@ def evaluate_health(snapshot: dict, dropped_spans: int = 0,
             "obs_overhead_pct", overhead <= slos.max_obs_overhead_pct,
             round(overhead, 2), slos.max_obs_overhead_pct,
             "journal+exporters cost on the batched ingest path"))
+
+    pql_suite = suites.get("pql_perf")
+    if pql_suite is not None:
+        speedup = pql_suite.get("speedup", 0.0)
+        point = pql_suite.get("point_lookup", {}).get("speedup", 0.0)
+        ancestry = pql_suite.get("ancestry", {}).get("speedup", 0.0)
+        checks.append(HealthCheck(
+            "pql_speedup", speedup >= slos.min_pql_speedup,
+            round(speedup, 2), slos.min_pql_speedup,
+            f"planner vs naive (point {point:.1f}x, "
+            f"ancestry {ancestry:.1f}x)"))
+    else:
+        checks.append(HealthCheck(
+            "pql_speedup", True, None, slos.min_pql_speedup,
+            "pql benchmark results not supplied"))
 
     return verdict
 

@@ -48,6 +48,7 @@ from repro.core.records import ProvenanceRecord
 from repro.obs import NULL_OBS
 from repro.pql.ast import Query
 from repro.pql.evaluator import Evaluator
+from repro.pql.indexes import IndexCatalog
 from repro.pql.oem import OEMGraph, OEMNode
 from repro.pql.parser import parse
 
@@ -57,15 +58,20 @@ _NEVER = object()
 
 
 class CompiledPlan:
-    """One cached compiled query: normalized text, parsed AST, and the
-    vocabulary epoch at which it last passed the lint pre-pass."""
+    """One cached compiled query: normalized text, parsed AST, the
+    vocabulary epoch at which it last passed the lint pre-pass, and --
+    after an optimized execution -- the planner's per-binding access
+    choices (:class:`~repro.pql.planner.BindingPlan` list, the EXPLAIN
+    payload).  Choices are re-made per execution against current graph
+    statistics; the plan records the latest."""
 
-    __slots__ = ("text", "query", "checked_epoch")
+    __slots__ = ("text", "query", "checked_epoch", "binding_plans")
 
     def __init__(self, text: str, query: Query):
         self.text = text
         self.query = query
         self.checked_epoch = _NEVER
+        self.binding_plans = None
 
     def __repr__(self) -> str:
         return f"<CompiledPlan {self.text!r}>"
@@ -81,32 +87,63 @@ class QueryEngine:
     ``check=False`` (construction-time or per call) to opt out.
     """
 
-    def __init__(self, graph: OEMGraph, check: bool = True, obs=NULL_OBS):
+    def __init__(self, graph: OEMGraph, check: bool = True, obs=NULL_OBS,
+                 optimize: bool = True):
         self.graph = graph
         self.obs = obs
-        self._evaluator = Evaluator(graph)
         self._plans: dict[str, CompiledPlan] = {}
         self._check = check
         self._vocabulary = None
         self._vocab_epoch = _NEVER
         self._last_plan_cache_hit = False
+        self._subscriptions: list = []
+        #: Default execution mode; per-call ``optimize=`` overrides.
+        #: Optimized engines share one IndexCatalog per graph; the
+        #: naive evaluator (no catalog) is the pre-planner baseline.
+        self._optimize = optimize and isinstance(graph, OEMGraph)
+        self._opt_evaluator = None
+        self._naive_evaluator = None
+        self._evaluator = self._evaluator_for(self._optimize)
+
+    def _evaluator_for(self, optimize: bool) -> Evaluator:
+        if optimize:
+            if self._opt_evaluator is None:
+                catalog = IndexCatalog.attach(self.graph)
+                if (self.obs is not NULL_OBS
+                        and id(self.obs) not in catalog.collector_obs):
+                    catalog.collector_obs.add(id(self.obs))
+                    self.obs.add_collector("pql", catalog.counters)
+                self._opt_evaluator = Evaluator(self.graph, catalog)
+            return self._opt_evaluator
+        if self._naive_evaluator is None:
+            self._naive_evaluator = Evaluator(self.graph)
+        return self._naive_evaluator
+
+    @property
+    def catalog(self):
+        """The graph's index catalogue when this engine optimizes."""
+        return (self._opt_evaluator.catalog
+                if self._opt_evaluator is not None else None)
 
     # -- construction -----------------------------------------------------------
 
     @classmethod
-    def live(cls, sources, obs=NULL_OBS, check: bool = True) -> "QueryEngine":
+    def live(cls, sources, obs=NULL_OBS, check: bool = True,
+             optimize: bool = True) -> "QueryEngine":
         """The one real construction path: a live engine over sources.
 
         Batch-builds the graph from each source's ``all_records()``,
         then subscribes to every source that supports it so later
         inserts flow straight into the graph.  Callers own exactly one
-        live engine per source set and reuse it across syncs.
+        live engine per source set and reuse it across syncs;
+        short-lived engines (benchmark arms) should :meth:`detach`
+        when done so sources stop feeding them.
         """
         streams = [source.all_records() for source in sources]
         with obs.span("oem.build", layer="pql") as span:
             graph = OEMGraph.build(itertools.chain(*streams))
             span.tag("nodes", len(graph))
-        engine = cls(graph, check=check, obs=obs)
+        engine = cls(graph, check=check, obs=obs, optimize=optimize)
         for source in sources:
             # Prefer the batch feed (one graph splice per drained
             # group); sources without one fall back to the per-record
@@ -114,11 +151,28 @@ class QueryEngine:
             subscribe_batch = getattr(source, "subscribe_batch", None)
             if subscribe_batch is not None:
                 subscribe_batch(engine._apply_batch)
+                engine._subscriptions.append(
+                    (source, engine._apply_batch, True))
                 continue
             subscribe = getattr(source, "subscribe", None)
             if subscribe is not None:
                 subscribe(engine._apply)
+                engine._subscriptions.append(
+                    (source, engine._apply, False))
         return engine
+
+    def detach(self) -> int:
+        """Unhook this engine's push-feed subscriptions from its
+        sources (see :meth:`ProvenanceDatabase.unsubscribe`); the graph
+        freezes at its current state.  Returns feeds detached."""
+        detached = 0
+        for source, callback, batched in self._subscriptions:
+            name = "unsubscribe_batch" if batched else "unsubscribe"
+            unhook = getattr(source, name, None)
+            if unhook is not None and unhook(callback):
+                detached += 1
+        self._subscriptions = []
+        return detached
 
     @classmethod
     def from_records(cls, records: Iterable[ProvenanceRecord],
@@ -198,9 +252,21 @@ class QueryEngine:
 
     # -- execution -----------------------------------------------------------
 
-    def execute(self, text: str, check: bool | None = None) -> list:
-        """Run a PQL query; returns rows (see Evaluator.execute)."""
+    def execute(self, text: str, check: bool | None = None,
+                optimize: bool | None = None) -> list:
+        """Run a PQL query; returns rows (see Evaluator.execute).
+
+        ``optimize=False`` forces the naive pre-planner path for this
+        call (benchmark baselines, planned-vs-naive ground truth);
+        ``optimize=True`` forces the planner.  Default: the engine's
+        construction-time mode.
+        """
         started = time.perf_counter()
+        if optimize is None:
+            use_opt = self._optimize
+        else:
+            use_opt = optimize and isinstance(self.graph, OEMGraph)
+        evaluator = self._evaluator_for(use_opt)
         with self.obs.span("pql.execute", layer="pql") as span:
             plan = self.plan(text)
             if self._check if check is None else check:
@@ -214,7 +280,15 @@ class QueryEngine:
                 else:
                     self.obs.inc("pql", "check_cache_hits")
             with self.obs.span("pql.eval", layer="pql"):
-                rows = self._evaluator.execute(plan.query)
+                if use_opt:
+                    evaluator.plan_log = log = []
+                    try:
+                        rows = evaluator.execute(plan.query)
+                    finally:
+                        evaluator.plan_log = None
+                    plan.binding_plans = log
+                else:
+                    rows = evaluator.execute(plan.query)
             span.tag("rows", len(rows))
         self.obs.inc("pql", "queries_executed")
         self.obs.inc("pql", "rows_returned", len(rows))
@@ -229,6 +303,31 @@ class QueryEngine:
                                 cache_hit=self._last_plan_cache_hit,
                                 rows=len(rows), plan=repr(plan.query))
         return rows
+
+    def explain(self, text: str, check: bool | None = None) -> dict:
+        """Run a query and report the planner's access-path choices.
+
+        Returns ``{"query", "rows", "optimize", "bindings"}`` where
+        each binding entry carries the chosen access path (index /
+        scan / traversal), its detail, and estimated vs actual rows.
+        EXPLAIN *executes* -- actual row counts are measured, not
+        guessed -- and journals a ``pql.plan_explain`` event.
+        """
+        rows = self.execute(text, check=check)
+        plan = self.plan(text)                      # cache hit
+        bindings = [binding.as_dict()
+                    for binding in (plan.binding_plans or [])]
+        report = {
+            "query": plan.text,
+            "rows": len(rows),
+            "optimize": self._optimize,
+            "bindings": bindings,
+        }
+        self.obs.event("pql.plan_explain", layer="pql", always=True,
+                       query=plan.text, rows=len(rows),
+                       accesses=",".join(binding["access"]
+                                         for binding in bindings))
+        return report
 
     def execute_refs(self, text: str) -> list:
         """Like :meth:`execute`, but nodes come back as ObjectRefs."""

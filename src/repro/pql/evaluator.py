@@ -23,7 +23,14 @@ from typing import Iterable, Optional
 
 from repro.core.errors import PQLError, PQLNameError, PQLTypeError
 from repro.pql import ast
+from repro.pql import planner as _planner
+from repro.pql.indexes import ANCESTRY_LABELS
 from repro.pql.oem import OEMGraph, OEMNode
+
+#: Largest frontier the materialized ancestry view serves; bigger
+#: frontiers walk the CSR arrays in one joint BFS instead (per-root
+#: closure caching only pays off for few roots).
+_VIEW_FRONTIER_MAX = 8
 
 #: Environment: variable name -> OEMNode.
 Env = dict
@@ -47,10 +54,25 @@ _SCALARS = {
 
 
 class Evaluator:
-    """Executes parsed queries against one OEM graph."""
+    """Executes parsed queries against one OEM graph.
 
-    def __init__(self, graph: OEMGraph):
+    With a :class:`~repro.pql.indexes.IndexCatalog` attached
+    (``catalog``), FROM bindings go through the cost-based planner
+    (index vs scan per binding) and closure steps pick the materialized
+    ancestry view or the CSR arrays over the live dicts; without one,
+    evaluation is the pre-planner naive path (member scans plus the
+    name-only pushdown) -- the ground truth the planned path is
+    property-tested against.
+    """
+
+    def __init__(self, graph: OEMGraph, catalog=None):
         self.graph = graph
+        self.catalog = catalog
+        #: When set (by the engine, around a top-level execute), the
+        #: planner appends one BindingPlan per top-level binding here.
+        self.plan_log: Optional[list] = None
+        self._depth = 0
+        self._notes: Optional[dict] = None
 
     # -- entry point -------------------------------------------------------------------
 
@@ -62,6 +84,14 @@ class Evaluator:
         selects return tuples.  Node values come back as
         :class:`OEMNode`.
         """
+        self._depth += 1
+        try:
+            return self._execute(query, outer)
+        finally:
+            self._depth -= 1
+
+    def _execute(self, query: ast.Query,
+                 outer: Optional[Env] = None) -> list:
         envs = self._expand_bindings(query.bindings, outer or {},
                                      query.where)
         if query.where is not None:
@@ -119,27 +149,44 @@ class Evaluator:
                          outer: Env,
                          where: Optional[ast.Expr] = None) -> list[Env]:
         bindings = list(bindings)
-        name_filters = _equality_name_filters(where)
         # A variable bound more than once is rebound (shadowed); pruning
         # its earlier binding by the WHERE literal would be unsound.
         counts: dict = {}
         for binding in bindings:
             counts[binding.name] = counts.get(binding.name, 0) + 1
-        name_filters = {name: literal
-                        for name, literal in name_filters.items()
-                        if counts.get(name, 0) == 1}
+        catalog = self.catalog
+        if catalog is not None:
+            filters = {name: preds for name, preds
+                       in _planner.extract_filters(where).items()
+                       if counts.get(name, 0) == 1}
+        else:
+            name_filters = {name: literal for name, literal
+                            in _equality_name_filters(where).items()
+                            if counts.get(name, 0) == 1}
+        record = self.plan_log is not None and self._depth == 1
         envs = [dict(outer)]
         for binding in bindings:
-            pushdown = self._pushdown_candidates(binding, name_filters)
+            plan = None
+            if catalog is not None:
+                pushdown, plan = _planner.plan_binding(self, binding,
+                                                       filters)
+                if record:
+                    self.plan_log.append(plan)
+                    self._notes = plan.notes
+            else:
+                pushdown = self._pushdown_candidates(binding, name_filters)
             expanded: list[Env] = []
             for env in envs:
                 nodes = (pushdown if pushdown is not None
                          else self._path_nodes(binding.path, env))
+                if plan is not None:
+                    plan.actual_rows += len(nodes)
                 for node in nodes:
                     child = dict(env)
                     child[binding.name] = node
                     expanded.append(child)
             envs = expanded
+            self._notes = None
         return envs
 
     def _pushdown_candidates(self, binding: ast.Binding,
@@ -192,7 +239,19 @@ class Evaluator:
 
     def _apply_step(self, frontier: list[OEMNode],
                     step: ast.Step) -> list[OEMNode]:
-        """Apply one edge step with its quantifier to a node frontier."""
+        """Apply one edge step with its quantifier to a node frontier.
+
+        Single hops always walk the live dicts (cheapest).  Multi-hop
+        and unbounded closures consult the index catalogue when one is
+        attached: ancestry-label closures from small frontiers come
+        from the materialized view, other closures run over the CSR
+        arrays when the snapshot is fresh, and everything falls back to
+        the dict walk mid-burst.  All three produce the same node set.
+        """
+        if self.catalog is not None and frontier:
+            fast = self._apply_step_fast(frontier, step)
+            if fast is not None:
+                return fast
         minimum = step.quantifier.minimum
         maximum = step.quantifier.maximum
         result: dict[int, OEMNode] = {}
@@ -217,6 +276,56 @@ class Evaluator:
             layer = next_layer
             depth += 1
         return list(result.values())
+
+    def _apply_step_fast(self, frontier: list[OEMNode],
+                         step: ast.Step) -> Optional[list[OEMNode]]:
+        """Serve a closure step from the ancestry view or the CSR
+        snapshot; None means "use the live dict walk"."""
+        minimum = step.quantifier.minimum
+        maximum = step.quantifier.maximum
+        if maximum is not None and maximum <= 1:
+            return None
+        edges = _flat_edges(step.edge)
+        if not edges:
+            return None
+        catalog = self.catalog
+        notes = self._notes
+        labels = {name for name, _ in edges}
+        directions = {reverse for _, reverse in edges}
+        if (maximum is None and minimum <= 1 and len(directions) == 1
+                and len(frontier) <= _VIEW_FRONTIER_MAX
+                and labels <= ANCESTRY_LABELS):
+            # Materialized ancestry closure, cached per root.
+            reverse = next(iter(directions))
+            key = tuple(sorted(labels))
+            if notes is not None:
+                notes["ancestry_view"] = notes.get("ancestry_view", 0) + 1
+            result: dict[int, OEMNode] = {}
+            if minimum == 0:
+                for node in frontier:
+                    result.setdefault(id(node), node)
+            for node in frontier:
+                for reached in catalog.view.closure(node, key, reverse):
+                    result.setdefault(id(reached), reached)
+            return list(result.values())
+        csr = catalog.csr()
+        if csr is None:
+            # Mid-burst: the snapshot is stale, walk the live dicts.
+            if notes is not None:
+                notes["dict_walk"] = notes.get("dict_walk", 0) + 1
+            return None
+        node_id = csr.node_id
+        roots = []
+        for node in frontier:
+            nid = node_id.get(id(node))
+            if nid is None:
+                return None
+            roots.append(nid)
+        if notes is not None:
+            notes["csr_bfs"] = notes.get("csr_bfs", 0) + 1
+        found = csr.bfs(roots, edges, minimum, maximum)
+        nodes = csr.nodes
+        return [nodes[index] for index in found]
 
     def _follow(self, node: OEMNode, edge: ast.EdgeExpr) -> list[OEMNode]:
         if isinstance(edge, ast.EdgeAlt):
@@ -365,6 +474,22 @@ class Evaluator:
 def _single_forward_label(step: ast.Step) -> Optional[str]:
     if isinstance(step.edge, ast.EdgeName) and not step.edge.reverse:
         return step.edge.name
+    return None
+
+
+def _flat_edges(edge: ast.EdgeExpr) -> Optional[list[tuple[str, bool]]]:
+    """Flatten an edge expression to [(label, reverse), ...], or None
+    if it holds anything other than names/alternations."""
+    if isinstance(edge, ast.EdgeName):
+        return [(edge.name, edge.reverse)]
+    if isinstance(edge, ast.EdgeAlt):
+        out: list[tuple[str, bool]] = []
+        for option in edge.options:
+            flat = _flat_edges(option)
+            if flat is None:
+                return None
+            out.extend(flat)
+        return out
     return None
 
 

@@ -53,12 +53,16 @@ class OEMNode:
 
     def __init__(self, ref: ObjectRef):
         self.ref = ref
+        # Plain dicts, not defaultdicts: readers hit these directly
+        # during traversal, and a defaultdict would materialize an
+        # empty list per missing label probed -- queries would bloat
+        # node footprints.  Writers go through ``setdefault``.
         #: atom label -> list of values.
-        self.atoms: dict[str, list] = defaultdict(list)
+        self.atoms: dict[str, list] = {}
         #: edge label -> list of target nodes.
-        self.edges: dict[str, list["OEMNode"]] = defaultdict(list)
+        self.edges: dict[str, list["OEMNode"]] = {}
         #: edge label -> list of source nodes (reverse traversal).
-        self.redges: dict[str, list["OEMNode"]] = defaultdict(list)
+        self.redges: dict[str, list["OEMNode"]] = {}
 
     def atom(self, label: str) -> list:
         """Values of one atom attribute (possibly empty)."""
@@ -107,6 +111,13 @@ class OEMGraph:
         #: vocabularies and plan checks key off it.
         self.vocab_epoch = 0
         self.records_applied = 0
+        #: Attachment point for the secondary-index catalogue
+        #: (:class:`repro.pql.indexes.IndexCatalog`).  None until an
+        #: optimizing query engine attaches one; afterwards every
+        #: atom/edge delta is mirrored into it in O(1) so the indexes
+        #: never go stale.  One catalog per graph, shared by every
+        #: engine over it.
+        self.indexes = None
 
     # -- construction --------------------------------------------------------------
 
@@ -129,15 +140,15 @@ class OEMGraph:
             graph.records_applied += 1
             if isinstance(record.value, ObjectRef):
                 target = graph._node(record.value)
-                node.edges[label].append(target)
-                target.redges[label].append(node)
+                node.edges.setdefault(label, []).append(target)
+                target.redges.setdefault(label, []).append(node)
                 graph._edge_labels.add(label)
             elif record.attr in IDENTITY_ATTRS:
                 graph._identity[record.subject.pnode].append(
                     (label, record.value))
                 graph._atom_labels.add(label)
             else:
-                node.atoms[label].append(record.value)
+                node.atoms.setdefault(label, []).append(record.value)
                 graph._atom_labels.add(label)
         graph._apply_identity(graph._identity)
         graph._classify()
@@ -158,13 +169,16 @@ class OEMGraph:
         node = self._live_node(record.subject)
         label = record.attr.lower()
         self.records_applied += 1
+        catalog = self.indexes
         if isinstance(record.value, ObjectRef):
             target = self._live_node(record.value)
-            node.edges[label].append(target)
-            target.redges[label].append(node)
+            node.edges.setdefault(label, []).append(target)
+            target.redges.setdefault(label, []).append(node)
             if label not in self._edge_labels:
                 self._edge_labels.add(label)
                 self.vocab_epoch += 1
+            if catalog is not None:
+                catalog.note_edge(label, node, target)
         elif record.attr in IDENTITY_ATTRS:
             # Shared by every version, present and future.
             self._identity[record.subject.pnode].append(
@@ -173,8 +187,10 @@ class OEMGraph:
             for version in self._by_pnode[record.subject.pnode]:
                 self._add_identity_atom(version, label, record.value)
         else:
-            node.atoms[label].append(record.value)
+            node.atoms.setdefault(label, []).append(record.value)
             self._note_atom_label(label)
+            if catalog is not None:
+                catalog.note_atom(node, label, record.value)
 
     def apply_many(self, records: Iterable[ProvenanceRecord]) -> int:
         """Apply a batch of records; returns how many were applied."""
@@ -202,6 +218,7 @@ class OEMGraph:
         by_pnode = self._by_pnode
         add_identity = self._add_identity_atom
         note_label = self._note_atom_label
+        catalog = self.indexes
         for record in records:
             attr = record.attr
             if attr in _FRAMING:
@@ -212,19 +229,23 @@ class OEMGraph:
             value = record.value
             if isinstance(value, ObjectRef):
                 target = live_node(value)
-                node.edges[label].append(target)
-                target.redges[label].append(node)
+                node.edges.setdefault(label, []).append(target)
+                target.redges.setdefault(label, []).append(node)
                 if label not in edge_labels:
                     edge_labels.add(label)
                     self.vocab_epoch += 1
+                if catalog is not None:
+                    catalog.note_edge(label, node, target)
             elif attr in IDENTITY_ATTRS:
                 identity[record.subject.pnode].append((label, value))
                 note_label(label)
                 for version in by_pnode[record.subject.pnode]:
                     add_identity(version, label, value)
             else:
-                node.atoms[label].append(value)
+                node.atoms.setdefault(label, []).append(value)
                 note_label(label)
+                if catalog is not None:
+                    catalog.note_atom(node, label, value)
         self.records_applied += count
         if self.vocab_epoch != epoch0:
             # Deferred bookkeeping: the whole batch costs one bump.
@@ -254,8 +275,9 @@ class OEMGraph:
 
     def _add_identity_atom(self, node: OEMNode, label: str, value) -> None:
         """Share one identity atom onto one version node, maintaining
-        the member classification and name index it feeds."""
-        values = node.atoms[label]
+        the member classification, name index, and (when attached) the
+        secondary-index catalogue it feeds."""
+        values = node.atoms.setdefault(label, [])
         if value in values:
             return
         values.append(value)
@@ -267,6 +289,8 @@ class OEMGraph:
             self._members[member].append(node)
         elif label == "name" and isinstance(value, str):
             self._by_name[value].append(node)
+        if self.indexes is not None:
+            self.indexes.note_atom(node, label, value)
 
     def _note_atom_label(self, label: str) -> None:
         if label not in self._atom_labels:
@@ -278,8 +302,9 @@ class OEMGraph:
         for pnode, pairs in identity.items():
             for node in self._by_pnode[pnode]:
                 for label, value in pairs:
-                    if value not in node.atoms[label]:
-                        node.atoms[label].append(value)
+                    values = node.atoms.setdefault(label, [])
+                    if value not in values:
+                        values.append(value)
 
     def _classify(self) -> None:
         """Populate the Provenance root members from TYPE atoms, and the
@@ -300,6 +325,11 @@ class OEMGraph:
     def members(self, name: str) -> list[OEMNode]:
         """Nodes under one Provenance root member (e.g. 'file')."""
         return list(self._members.get(name, ()))
+
+    def member_count(self, name: str) -> int:
+        """Size of one root member class without copying it (the
+        planner's scan-cost estimate)."""
+        return len(self._members.get(name, ()))
 
     def member_names(self) -> list[str]:
         """Available root member names."""

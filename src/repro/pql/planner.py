@@ -1,0 +1,237 @@
+"""Cost-based access-path planning for FROM bindings.
+
+The evaluator's nested-loop join expands one binding at a time; the
+planner decides, per binding, *where the candidate nodes come from*:
+
+* ``member_scan``     -- walk the Provenance root member class (the
+  pre-planner behaviour, and still correct for everything);
+* ``equality_index``  -- a WHERE conjunct ``V.label = literal`` serves
+  the binding from the secondary hash index on ``label``
+  (:class:`repro.pql.indexes.EqualityIndex`; ``name`` rides the
+  graph's own name index);
+* ``range_index``     -- a conjunct ``V.label < n`` / ``>= n`` / ...
+  serves it from the sorted range index;
+* ``traverse``        -- the binding is rooted in another variable
+  (``F.input* as A``): candidates come from walking the graph, where
+  the evaluator separately picks ancestry view vs CSR vs live dicts
+  per step.
+
+Costs are actual row counts, not guesses: the member class length and
+the index bucket / range width are both O(1) reads against maintained
+structures, so "cost-based" here means comparing true candidate-set
+sizes and taking the smallest.  Every choice is recorded as a
+:class:`BindingPlan` (estimated vs actual rows, access detail), which
+the engine hangs off the :class:`~repro.pql.engine.CompiledPlan` and
+serves through EXPLAIN.
+
+Soundness mirrors the old name-only pushdown exactly: only top-level
+AND conjuncts count, only variables bound exactly once may be pruned
+(the evaluator pre-filters), and the WHERE clause always re-runs
+afterwards -- an index only ever *narrows the scan*, it never decides
+the answer.  Comparisons are existential over multi-valued atoms, and
+both index flavours return exactly the nodes carrying a matching atom
+value, a superset of the rows the WHERE clause keeps.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.pql import ast
+from repro.pql.oem import OEMGraph, OEMNode
+
+#: Operator flip for ``literal op V.label`` orientation.
+_FLIP = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}
+
+_RANGE_OPS = frozenset(_FLIP)
+
+
+def _is_number(value) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _plain_label(step: ast.Step) -> Optional[str]:
+    """The forward edge label of an unquantified plain step, if any."""
+    if (isinstance(step.edge, ast.EdgeName) and not step.edge.reverse
+            and step.quantifier == ast.Quantifier()):
+        return step.edge.name
+    return None
+
+
+def _path_text(path: ast.Path) -> str:
+    parts = [path.root]
+    for step in path.steps:
+        edge = step.edge
+        if isinstance(edge, ast.EdgeName):
+            parts.append(("^" if edge.reverse else "") + edge.name)
+        else:
+            parts.append("(...)")
+    return ".".join(parts)
+
+
+class BindingPlan:
+    """One binding's chosen access path, with estimate and outcome.
+
+    ``est_rows`` is the candidate-set size the planner compared on
+    (None when the access path has no precomputed size, e.g. a
+    traversal); ``actual_rows`` accumulates the rows the binding
+    actually contributed across the join (candidates times enclosing
+    tuples for pushed bindings).  ``notes`` counts the traversal
+    mechanisms steps under this binding used (``ancestry_view``,
+    ``csr_bfs``, ``dict_walk``).
+    """
+
+    __slots__ = ("variable", "access", "detail", "est_rows",
+                 "actual_rows", "notes")
+
+    def __init__(self, variable: str, access: str,
+                 detail: Optional[dict] = None,
+                 est_rows: Optional[int] = None):
+        self.variable = variable
+        self.access = access
+        self.detail = detail or {}
+        self.est_rows = est_rows
+        self.actual_rows = 0
+        self.notes: dict[str, int] = {}
+
+    def as_dict(self) -> dict:
+        out = {
+            "variable": self.variable,
+            "access": self.access,
+            "est_rows": self.est_rows,
+            "actual_rows": self.actual_rows,
+        }
+        if self.detail:
+            out["detail"] = dict(self.detail)
+        if self.notes:
+            out["steps"] = dict(self.notes)
+        return out
+
+    def __repr__(self) -> str:
+        return (f"<BindingPlan {self.variable} via {self.access} "
+                f"est={self.est_rows} actual={self.actual_rows}>")
+
+
+def extract_filters(where: Optional[ast.Expr]) -> dict:
+    """Indexable predicates per variable from top-level AND conjuncts.
+
+    Returns ``{variable: [predicate, ...]}`` where a predicate is
+    ``("eq", label, value)`` for ``V.label = literal`` or
+    ``("range", label, low, low_inc, high, high_inc)`` for a numeric
+    inequality, either operand order.  OR branches, negations, and
+    anything else stay un-extracted (the WHERE clause handles them).
+    """
+    filters: dict[str, list[tuple]] = {}
+    if where is None:
+        return filters
+    conjuncts = (list(where.operands)
+                 if isinstance(where, ast.BoolOp) and where.op == "and"
+                 else [where])
+    for conjunct in conjuncts:
+        if not isinstance(conjunct, ast.Compare):
+            continue
+        op = conjunct.op
+        if op != "=" and op not in _RANGE_OPS:
+            continue
+        for lhs, rhs, flipped in ((conjunct.left, conjunct.right, False),
+                                  (conjunct.right, conjunct.left, True)):
+            if not (isinstance(lhs, ast.PathValue)
+                    and len(lhs.path.steps) == 1
+                    and isinstance(rhs, ast.Literal)):
+                continue
+            label = _plain_label(lhs.path.steps[0])
+            if label is None:
+                continue
+            variable = lhs.path.root
+            value = rhs.value
+            if op == "=":
+                filters.setdefault(variable, []).append(
+                    ("eq", label, value))
+            elif _is_number(value):
+                effective = _FLIP[op] if flipped else op
+                if effective == "<":
+                    pred = ("range", label, None, False, value, False)
+                elif effective == "<=":
+                    pred = ("range", label, None, False, value, True)
+                elif effective == ">":
+                    pred = ("range", label, value, False, None, False)
+                else:                                   # >=
+                    pred = ("range", label, value, True, None, False)
+                filters.setdefault(variable, []).append(pred)
+            break
+    return filters
+
+
+def member_of(path: ast.Path) -> Optional[str]:
+    """The member name of a pure ``Provenance.member`` binding path."""
+    if path.root != OEMGraph.ROOT or len(path.steps) != 1:
+        return None
+    return _plain_label(path.steps[0])
+
+
+def plan_binding(evaluator, binding: ast.Binding, filters: dict
+                 ) -> tuple[Optional[list[OEMNode]], BindingPlan]:
+    """Choose the access path for one binding.
+
+    Returns ``(candidates, plan)``: ``candidates`` is the pruned node
+    list when an index serves the binding, or None when the evaluator
+    should expand the path itself (member scan / traversal).
+    """
+    graph = evaluator.graph
+    catalog = evaluator.catalog
+    path = binding.path
+    member = member_of(path)
+    if member is None:
+        access = ("member_scan" if path.root == OEMGraph.ROOT
+                  else "traverse")
+        return None, BindingPlan(binding.name, access,
+                                 detail={"path": _path_text(path)})
+
+    scan_cost = graph.member_count(member)
+    best_access = "member_scan"
+    best_detail: dict = {"member": member}
+    best_est = scan_cost
+    best_pred: Optional[tuple] = None
+    for pred in filters.get(binding.name, ()):
+        if pred[0] == "eq":
+            _, label, value = pred
+            est = catalog.equality_estimate(label, value)
+            detail = {"index": label, "op": "=", "value": value}
+            access = "equality_index"
+        else:
+            _, label, low, low_inc, high, high_inc = pred
+            est = catalog.range(label).estimate(low, low_inc,
+                                                high, high_inc)
+            detail = {"index": label, "op": "range",
+                      "low": low, "high": high}
+            access = "range_index"
+        if est < best_est:
+            best_access, best_detail, best_est = access, detail, est
+            best_pred = pred
+
+    best_detail["member"] = member
+    plan = BindingPlan(binding.name, best_access, detail=best_detail,
+                       est_rows=best_est)
+    if best_pred is None:
+        catalog.index_misses += 1
+        return None, plan
+    catalog.index_hits += 1
+    if best_pred[0] == "eq":
+        nodes = catalog.equality_lookup(best_pred[1], best_pred[2])
+    else:
+        _, label, low, low_inc, high, high_inc = best_pred
+        nodes = catalog.range(label).lookup(low, low_inc, high, high_inc)
+    if member != "node":
+        nodes = [node for node in nodes
+                 if isinstance(node.type, str)
+                 and node.type.lower() == member]
+    # Range lookups repeat a node once per matching value; candidate
+    # sets are node sets (order preserved).
+    seen: set[int] = set()
+    unique: list[OEMNode] = []
+    for node in nodes:
+        key = id(node)
+        if key not in seen:
+            seen.add(key)
+            unique.append(node)
+    return unique, plan

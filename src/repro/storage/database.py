@@ -103,6 +103,27 @@ class ProvenanceDatabase:
         """
         self._batch_listeners.append(listener)
 
+    def unsubscribe(self, listener) -> bool:
+        """Remove one per-record listener; True if it was registered.
+
+        Query engines with bounded lifetimes (benchmark arms, EXPLAIN
+        scratch engines) detach instead of riding the feed forever --
+        otherwise every insert keeps paying for graphs nobody queries.
+        """
+        try:
+            self._listeners.remove(listener)
+            return True
+        except ValueError:
+            return False
+
+    def unsubscribe_batch(self, listener) -> bool:
+        """Remove one batch listener; True if it was registered."""
+        try:
+            self._batch_listeners.remove(listener)
+            return True
+        except ValueError:
+            return False
+
     @property
     def has_subscribers(self) -> bool:
         """Whether any push-feed listener is registered.  Concurrent

@@ -1,0 +1,246 @@
+"""Planner soundness properties: planned == naive, maintained == rebuilt.
+
+The optimizer is only allowed to change *where candidate rows come
+from*, never which rows come back.  These properties drive random
+record streams and generated queries through both arms of the same
+engine (and through a sharded, federated engine) and require identical
+answers; separately, indexes and the ancestry view maintained
+incrementally through ``apply``/``apply_batch`` must match structures
+rebuilt from scratch over the final graph -- including after a
+crash/recover replay through the storage tier.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core.errors import ReproError
+from repro.core.pnode import ObjectRef
+from repro.core.records import Attr, ProvenanceRecord
+from repro.pql.engine import QueryEngine
+from repro.pql.indexes import EqualityIndex, IndexCatalog, RangeIndex
+from repro.pql.lexer import KEYWORDS
+from repro.pql.oem import OEMGraph
+from repro.storage.database import ProvenanceDatabase
+
+# -- generators (mirroring test_oem_incremental_props / test_pql_props) -------
+
+refs = st.builds(ObjectRef,
+                 pnode=st.integers(1, 6),
+                 version=st.integers(0, 3))
+
+attrs = st.sampled_from([Attr.NAME, Attr.TYPE, Attr.ARGV, Attr.PID,
+                         Attr.MD5, Attr.TIME, Attr.ANNOTATION])
+edge_attrs = st.sampled_from([Attr.INPUT, Attr.PREV_VERSION,
+                              Attr.FORKPARENT, Attr.EXEC])
+
+plain_values = st.one_of(
+    st.sampled_from(["/pass/a", "/pass/b", "file", "process", "sh"]),
+    st.integers(0, 99))
+
+records = st.one_of(
+    st.builds(ProvenanceRecord, subject=refs, attr=attrs,
+              value=plain_values),
+    st.builds(ProvenanceRecord, subject=refs, attr=edge_attrs,
+              value=refs))
+
+streams = st.lists(records, max_size=60)
+
+identifiers = st.from_regex(r"[A-Za-z_][A-Za-z0-9_]{0,10}", fullmatch=True)
+member_names = st.sampled_from(["file", "process", "pipe", "node"])
+edge_names = st.sampled_from(["input", "forkparent", "exec",
+                              "prev_version"])
+quantifiers = st.sampled_from(["", "*", "+", "?", "{2}", "{1,3}", "{2,}"])
+
+#: WHERE tails that exercise every planner access path: equality on an
+#: indexed atom, numeric ranges (both operand orders), name equality,
+#: multi-conjunct, and un-plannable shapes (OR, inequality).
+where_tails = st.sampled_from([
+    "",
+    ' where {v}.md5 = "/pass/a"',
+    ' where {v}.time < 50',
+    ' where 50 >= {v}.time',
+    ' where {v}.name = "/pass/b"',
+    ' where {v}.time > 10 and {v}.name = "/pass/a"',
+    ' where {v}.name = "/pass/a" or {v}.time = 3',
+    ' where {v}.pid != 7',
+    ' where {v2}.md5 = "/pass/b"',
+])
+
+
+@st.composite
+def queries(draw):
+    """Structurally valid two-binding queries with planner-relevant
+    WHERE clauses."""
+    var = draw(identifiers.filter(
+        lambda name: name.lower() not in KEYWORDS))
+    member = draw(member_names)
+    edge = draw(edge_names)
+    quant = draw(quantifiers)
+    reverse = "^" if draw(st.booleans()) else ""
+    second = f"{var}2"
+    text = (f"select {second} from Provenance.{member} as {var} "
+            f"{var}.{reverse}{edge}{quant} as {second}")
+    text += draw(where_tails).format(v=var, v2=second)
+    return text
+
+
+def canonical(rows) -> list[str]:
+    return sorted(map(repr, rows))
+
+
+def assert_arms_agree(engine: QueryEngine, query: str) -> None:
+    try:
+        planned = engine.execute_refs(query)
+    except ReproError:
+        return
+    saved = engine._optimize
+    engine._optimize = False
+    try:
+        naive = engine.execute_refs(query)
+    finally:
+        engine._optimize = saved
+    assert canonical(planned) == canonical(naive), query
+
+
+# -- planned == naive ---------------------------------------------------------
+
+@given(streams, queries())
+@settings(max_examples=200, deadline=None)
+def test_planned_equals_naive(stream, query):
+    engine = QueryEngine(OEMGraph.build(stream), check=False)
+    assert_arms_agree(engine, query)
+
+
+@given(streams, queries())
+@settings(max_examples=100, deadline=None)
+def test_planned_equals_naive_federated(stream, query):
+    """The PR 9 shape: records sharded across databases, one live
+    engine over the union."""
+    shards = [ProvenanceDatabase(f"s{index}") for index in range(3)]
+    for record in stream:
+        shards[record.subject.pnode % 3].insert(record)
+    engine = QueryEngine.live(shards, check=False)
+    assert_arms_agree(engine, query)
+
+
+@given(streams, st.integers(0, 60), queries())
+@settings(max_examples=100, deadline=None)
+def test_planned_equals_naive_while_growing(stream, cut, query):
+    """Queries interleaved with ingest: answer, grow, answer again --
+    index maintenance and view patching must stay sound mid-stream."""
+    cut = min(cut, len(stream))
+    engine = QueryEngine(OEMGraph.build(stream[:cut]), check=False)
+    assert_arms_agree(engine, query)
+    engine.graph.apply_many(stream[cut:])
+    assert_arms_agree(engine, query)
+
+
+# -- maintained == rebuilt ----------------------------------------------------
+
+def eq_fingerprint(index: EqualityIndex, graph: OEMGraph) -> dict:
+    probes = ["/pass/a", "/pass/b", "file", "process", "sh"] + \
+        list(range(0, 100, 7))
+    return {value: canonical(n.ref for n in index.lookup(value))
+            for value in probes}
+
+
+def rng_fingerprint(index: RangeIndex) -> list:
+    return canonical(
+        (value, node.ref) for value, _, node in index._pairs)
+
+
+@given(streams, st.integers(0, 60))
+@settings(max_examples=150, deadline=None)
+def test_maintained_indexes_equal_rebuilt(stream, cut):
+    """Indexes built mid-stream and maintained through apply/apply_batch
+    match indexes rebuilt from scratch over the final graph."""
+    cut = min(cut, len(stream))
+    graph = OEMGraph.build(stream[:cut])
+    catalog = IndexCatalog.attach(graph)
+    maintained_eq = catalog.equality("md5")
+    maintained_rng = catalog.range("time")
+    half = cut + (len(stream) - cut) // 2
+    for record in stream[cut:half]:
+        graph.apply(record)
+    graph.apply_batch(stream[half:])
+    assert eq_fingerprint(maintained_eq, graph) == \
+        eq_fingerprint(EqualityIndex("md5", graph.nodes()), graph)
+    assert rng_fingerprint(maintained_rng) == \
+        rng_fingerprint(RangeIndex("time", graph.nodes()))
+
+
+@given(streams, st.integers(0, 60))
+@settings(max_examples=150, deadline=None)
+def test_patched_view_equals_recomputed(stream, cut):
+    """Closures cached early and patched through later deltas match
+    closures computed fresh on the final graph."""
+    cut = min(cut, len(stream))
+    graph = OEMGraph.build(stream[:cut])
+    catalog = IndexCatalog.attach(graph)
+    labels = ("input", "prev_version")
+    roots = graph.nodes()[:6]
+    for root in roots:
+        catalog.view.closure(root, labels, False)
+        catalog.view.closure(root, labels, True)
+    graph.apply_batch(stream[cut:])
+    fresh = IndexCatalog(graph)         # unattached: no deltas seen
+    for root in roots:
+        for reverse in (False, True):
+            patched = catalog.view.closure(root, labels, reverse)
+            computed = fresh.view.closure(root, labels, reverse)
+            assert canonical(n.ref for n in patched) == \
+                canonical(n.ref for n in computed), (root.ref, reverse)
+
+
+# -- crash -> recover replay --------------------------------------------------
+
+def test_crash_recover_replay_keeps_planner_sound():
+    """Sharded system, queries warm the indexes, machine dies with
+    undrained logs, recovery replays through the databases' push feeds:
+    the maintained indexes must absorb the replayed records and keep
+    planned == naive."""
+    from repro.system import System
+    from tests.conftest import write_file
+
+    system = System.boot(shards=4)
+    write_file(system, "/pass/before", b"old")
+    system.sync()
+    engine = system.query_engine()
+    q_name = ('select F from Provenance.file as F '
+              'where F.name = "/pass/after"')
+    q_closure = ('select A from Provenance.file as F, F.input* as A '
+                 'where F.name = "/pass/out"')
+    for query in (q_name, q_closure):
+        engine.execute(query)               # build indexes pre-crash
+    assert engine.catalog is not None
+
+    with system.process(argv=["maker"]) as proc:
+        fd = proc.open("/pass/after", "w")
+        proc.write(fd, b"new")
+        proc.close(fd)
+        src = proc.open("/pass/after", "r")
+        proc.read(src)
+        proc.close(src)
+        out = proc.open("/pass/out", "w")
+        proc.write(out, b"derived")
+        proc.close(out)
+    # No sync: the records sit in shard logs.  Die and recover.
+    system.tier.crash()
+    report = system.tier.recover(consume=True)
+    assert report.committed_records
+
+    for query in (q_name, q_closure):
+        planned = engine.execute_refs(query)
+        saved = engine._optimize
+        engine._optimize = False
+        try:
+            naive = engine.execute_refs(query)
+        finally:
+            engine._optimize = saved
+        assert canonical(planned) == canonical(naive), query
+    assert engine.execute_refs(q_name)      # the replay really arrived
+    names = {getattr(row, "name", None)
+             for row in engine.execute(
+                 'select A from Provenance.file as F, F.input* as A '
+                 'where F.name = "/pass/out"')}
+    assert "/pass/after" in names

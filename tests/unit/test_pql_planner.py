@@ -1,0 +1,373 @@
+"""The cost-based planner and its access paths.
+
+Covers the access-path layer (equality/range indexes, CSR snapshot,
+materialized ancestry view) in isolation, the planner's per-binding
+choices, the EXPLAIN surface (engine dict, CLI rendering, journal
+event), the passmon counters, engine detach, and the regression guard
+for the old OEMNode defaultdict leak (queries must never grow a node's
+footprint).
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core.pnode import ObjectRef
+from repro.core.records import Attr, ObjType, ProvenanceRecord
+from repro.obs import Observability
+from repro.pql.engine import QueryEngine
+from repro.pql.indexes import (AncestryView, CSRSnapshot, EqualityIndex,
+                               IndexCatalog, RangeIndex)
+from repro.pql.oem import OEMGraph
+from repro.storage.database import ProvenanceDatabase
+
+
+def R(pnode, attr, value, version=0):
+    return ProvenanceRecord(ObjectRef(pnode, version), attr, value)
+
+
+def build_records():
+    """A small DAG with md5/mtime atoms: 1 -> 2 -> 3 by input."""
+    return [
+        R(1, Attr.TYPE, ObjType.FILE), R(1, Attr.NAME, "/a"),
+        R(1, "MD5", "aaa"), R(1, "MTIME", 10),
+        R(2, Attr.TYPE, ObjType.PROCESS), R(2, Attr.NAME, "cc"),
+        R(2, Attr.INPUT, ObjectRef(1, 0)), R(2, "MTIME", 20),
+        R(3, Attr.TYPE, ObjType.FILE), R(3, Attr.NAME, "/b"),
+        R(3, "MD5", "bbb"), R(3, "MTIME", 30),
+        R(3, Attr.INPUT, ObjectRef(2, 0)),
+    ]
+
+
+@pytest.fixture
+def graph():
+    return OEMGraph.build(build_records())
+
+
+@pytest.fixture
+def engine():
+    return QueryEngine.from_records(build_records())
+
+
+class TestEqualityIndex:
+    def test_build_and_lookup(self, graph):
+        index = EqualityIndex("md5", graph.nodes())
+        assert [n.ref for n in index.lookup("aaa")] == [ObjectRef(1, 0)]
+        assert index.lookup("zzz") == []
+        assert index.estimate("bbb") == 1
+
+    def test_incremental_add_matches_rebuild(self, graph):
+        catalog = IndexCatalog.attach(graph)
+        index = catalog.equality("md5")
+        graph.apply(R(9, "MD5", "ccc"))
+        graph.apply(R(9, Attr.TYPE, ObjType.FILE))
+        rebuilt = EqualityIndex("md5", graph.nodes())
+        assert {v: sorted(n.ref for n in index.lookup(v))
+                for v in ("aaa", "bbb", "ccc")} == \
+               {v: sorted(n.ref for n in rebuilt.lookup(v))
+                for v in ("aaa", "bbb", "ccc")}
+
+    def test_unhashable_values_skipped(self, graph):
+        index = EqualityIndex("md5", graph.nodes())
+        index.add(["un", "hashable"], graph.named("/a")[0])
+        assert index.lookup(["un", "hashable"]) == []
+
+
+class TestRangeIndex:
+    def test_bounds(self, graph):
+        index = RangeIndex("mtime", graph.nodes())
+        refs = lambda low, li, high, hi: sorted(
+            n.ref.pnode for n in index.lookup(low, li, high, hi))
+        assert refs(None, False, 15, False) == [1]      # mtime < 15
+        assert refs(20, True, None, False) == [2, 3]    # mtime >= 20
+        assert refs(20, False, None, False) == [3]      # mtime > 20
+        assert refs(None, False, 20, True) == [1, 2]    # mtime <= 20
+        assert index.estimate(None, False, None, False) == 3
+
+    def test_non_numeric_values_skipped(self, graph):
+        index = RangeIndex("md5", graph.nodes())       # strings: empty
+        assert len(index) == 0
+
+    def test_bool_not_indexed(self, graph):
+        index = RangeIndex("mtime", graph.nodes())
+        index.add(True, graph.named("/a")[0])
+        assert index.estimate(None, False, None, False) == 3
+
+
+class TestCSRSnapshot:
+    def test_bfs_matches_dict_walk(self, graph):
+        csr = CSRSnapshot(graph, epoch=None)
+        root = csr.node_id[id(graph.named("/b")[0])]
+        reached = csr.bfs([root], [("input", False)], 1, None)
+        names = {csr.nodes[nid].name for nid in reached}
+        assert names == {"cc", "/a"}
+
+    def test_reverse_direction(self, graph):
+        csr = CSRSnapshot(graph, epoch=None)
+        root = csr.node_id[id(graph.named("/a")[0])]
+        reached = csr.bfs([root], [("input", True)], 1, None)
+        assert {csr.nodes[nid].name for nid in reached} == {"cc", "/b"}
+
+    def test_depth_bounds(self, graph):
+        csr = CSRSnapshot(graph, epoch=None)
+        root = csr.node_id[id(graph.named("/b")[0])]
+        one_hop = csr.bfs([root], [("input", False)], 1, 1)
+        assert {csr.nodes[nid].name for nid in one_hop} == {"cc"}
+        with_self = csr.bfs([root], [("input", False)], 0, 0)
+        assert {csr.nodes[nid].name for nid in with_self} == {"/b"}
+
+    def test_catalog_rebuilds_only_when_quiescent(self, graph):
+        catalog = IndexCatalog.attach(graph)
+        assert catalog.csr() is None            # first sight of epoch
+        assert catalog.csr() is not None        # quiescent: build
+        assert catalog.csr_rebuilds == 1
+        graph.apply(R(9, Attr.TYPE, ObjType.FILE))
+        assert catalog.csr() is None            # stale again
+        assert catalog.csr_fallbacks == 2
+        snapshot = catalog.csr()
+        assert snapshot is not None
+        assert len(snapshot.nodes) == len(graph)
+
+
+class TestAncestryView:
+    def test_closure_cached_and_patched(self, graph):
+        catalog = IndexCatalog.attach(graph)
+        root = graph.named("/b")[0]
+        first = catalog.view.closure(root, ("input",), False)
+        assert {n.name for n in first} == {"cc", "/a"}
+        assert catalog.view.hits == 0
+        again = catalog.view.closure(root, ("input",), False)
+        assert again is first
+        assert catalog.view.hits == 1
+        # A new ancestry edge below the closure is patched in, not
+        # recomputed: /a gains an input -> new node 9.
+        graph.apply(R(9, Attr.TYPE, ObjType.FILE))
+        graph.apply(R(9, Attr.NAME, "/deep"))
+        graph.apply(R(1, Attr.INPUT, ObjectRef(9, 0)))
+        patched = catalog.view.closure(root, ("input",), False)
+        assert {n.name for n in patched} == {"cc", "/a", "/deep"}
+
+    def test_irrelevant_edge_does_not_grow_closure(self, graph):
+        catalog = IndexCatalog.attach(graph)
+        root = graph.named("/b")[0]
+        catalog.view.closure(root, ("input",), False)
+        graph.apply(R(8, Attr.TYPE, ObjType.FILE))
+        graph.apply(R(7, Attr.TYPE, ObjType.FILE))
+        graph.apply(R(8, Attr.INPUT, ObjectRef(7, 0)))   # disconnected
+        closure = catalog.view.closure(root, ("input",), False)
+        assert {n.name for n in closure} == {"cc", "/a"}
+
+    def test_pending_overflow_invalidates(self, graph):
+        view = AncestryView(max_pending=2)
+        catalog = IndexCatalog.attach(graph)
+        catalog.view = view
+        root = graph.named("/b")[0]
+        view.closure(root, ("input",), False)
+        for pnode in range(20, 24):
+            graph.apply(R(pnode, Attr.INPUT, ObjectRef(1, 0)))
+        assert view.invalidations == 1
+        assert len(view) == 0
+        # And the next read recomputes correctly from scratch.
+        closure = view.closure(root, ("input",), False)
+        assert {n.name for n in closure} >= {"cc", "/a"}
+
+    def test_lru_bounded(self, graph):
+        view = AncestryView(max_entries=2)
+        nodes = graph.nodes()
+        for node in nodes:
+            view.closure(node, ("input",), False)
+        assert len(view) == 2
+
+
+class TestPlannerChoices:
+    def _access(self, engine, query):
+        engine.execute(query)
+        plans = engine.plan(query).binding_plans
+        return {plan.variable: plan for plan in plans}
+
+    def test_equality_conjunct_uses_index(self, engine):
+        plans = self._access(
+            engine,
+            'select F from Provenance.file as F where F.md5 = "aaa"')
+        assert plans["F"].access == "equality_index"
+        assert plans["F"].est_rows == 1
+        assert plans["F"].actual_rows == 1
+
+    def test_range_conjunct_uses_range_index(self, engine):
+        plans = self._access(
+            engine,
+            "select F from Provenance.file as F where F.mtime < 15")
+        assert plans["F"].access == "range_index"
+        assert plans["F"].detail["index"] == "mtime"
+
+    def test_unfiltered_member_scans(self, engine):
+        plans = self._access(engine,
+                             "select F from Provenance.file as F")
+        assert plans["F"].access == "member_scan"
+
+    def test_traversal_binding_marked(self, engine):
+        plans = self._access(
+            engine,
+            "select A from Provenance.file as F, F.input* as A "
+            'where F.name = "/b"')
+        assert plans["A"].access == "traverse"
+        assert plans["F"].access == "equality_index"
+
+    def test_wider_bucket_than_member_class_scans(self, engine):
+        """Cost model: an index whose bucket is no smaller than the
+        member class must lose to the scan."""
+        graph = engine.graph
+        for pnode in range(50, 60):
+            graph.apply(R(pnode, Attr.TYPE, ObjType.FILE))
+            graph.apply(R(pnode, "FLAG", "common"))
+        plans = self._access(
+            engine,
+            "select P from Provenance.process as P "
+            'where P.flag = "common"')
+        # 1 process total; the flag bucket holds 10 nodes.
+        assert plans["P"].access == "member_scan"
+
+    def test_planned_rows_match_naive(self, engine):
+        for query in (
+            'select F from Provenance.file as F where F.md5 = "bbb"',
+            "select N from Provenance.node as N where N.mtime >= 20",
+            "select A from Provenance.file as F, F.input* as A "
+            'where F.md5 = "bbb"',
+        ):
+            planned = engine.execute_refs(query)
+            naive_rows = engine.execute(query, optimize=False)
+            naive = [row.ref if hasattr(row, "ref") else row
+                     for row in naive_rows]
+            assert sorted(map(repr, planned)) == sorted(map(repr, naive))
+
+
+class TestFootprintRegression:
+    def test_queries_never_mutate_node_footprints(self, engine):
+        """The defaultdict leak: probing a missing label used to insert
+        an empty entry into every node's atoms/edges/redges."""
+        graph = engine.graph
+        before = {id(n): (sorted(n.atoms), sorted(n.edges),
+                          sorted(n.redges)) for n in graph.nodes()}
+        for query in (
+            'select F from Provenance.file as F where F.nosuch = "x"',
+            "select A from Provenance.node as N, N.nosuchedge* as A",
+            "select A from Provenance.node as N, N.^nosuchedge+ as A",
+            "select F.missing from Provenance.file as F",
+        ):
+            engine.execute(query, check=False)
+            engine.execute(query, check=False, optimize=False)
+        after = {id(n): (sorted(n.atoms), sorted(n.edges),
+                         sorted(n.redges)) for n in graph.nodes()}
+        assert before == after
+
+    def test_catalog_probes_do_not_mutate(self, graph):
+        catalog = IndexCatalog.attach(graph)
+        before = {id(n): (sorted(n.atoms), sorted(n.edges))
+                  for n in graph.nodes()}
+        catalog.equality("nosuch").lookup("x")
+        catalog.range("nosuch2").lookup(None, False, None, False)
+        root = graph.named("/b")[0]
+        catalog.view.closure(root, ("nosuchedge",), False)
+        after = {id(n): (sorted(n.atoms), sorted(n.edges))
+                 for n in graph.nodes()}
+        assert before == after
+
+
+class TestExplain:
+    def test_report_shape(self, engine):
+        report = engine.explain(
+            'select F from Provenance.file as F where F.md5 = "aaa"')
+        assert report["rows"] == 1
+        assert report["optimize"] is True
+        (binding,) = report["bindings"]
+        assert binding["variable"] == "F"
+        assert binding["access"] == "equality_index"
+        assert binding["detail"]["index"] == "md5"
+
+    def test_traversal_steps_noted(self, engine):
+        report = engine.explain(
+            "select A from Provenance.file as F, F.input* as A "
+            'where F.name = "/b"')
+        traverse = [b for b in report["bindings"]
+                    if b["access"] == "traverse"]
+        assert traverse and "steps" in traverse[0]
+
+    def test_journal_event_emitted(self):
+        obs = Observability(journal_enabled=True)
+        engine = QueryEngine(OEMGraph.build(build_records()), check=False,
+                             obs=obs)
+        engine.explain("select F from Provenance.file as F")
+        assert obs.journal.events("pql.plan_explain")
+
+
+class TestCounters:
+    def test_counters_reach_obs_snapshot(self):
+        obs = Observability(journal_enabled=True)
+        engine = QueryEngine(OEMGraph.build(build_records()), check=False,
+                             obs=obs)
+        engine.execute(
+            'select F from Provenance.file as F where F.md5 = "aaa"')
+        engine.execute("select F from Provenance.file as F")
+        counters = obs.metrics.snapshot()["pql"]["counters"]
+        assert counters["index_hits"] >= 1
+        assert counters["index_misses"] >= 1
+        assert "view_refreshes" in counters
+        assert "csr_rebuilds" in counters
+
+    def test_shared_catalog_not_double_counted(self):
+        obs = Observability(journal_enabled=True)
+        graph = OEMGraph.build(build_records())
+        first = QueryEngine(graph, check=False, obs=obs)
+        second = QueryEngine(graph, check=False, obs=obs)
+        first.execute(
+            'select F from Provenance.file as F where F.md5 = "aaa"')
+        second.execute(
+            'select F from Provenance.file as F where F.md5 = "bbb"')
+        counters = obs.metrics.snapshot()["pql"]["counters"]
+        assert counters["index_hits"] == first.catalog.index_hits == 2
+
+
+class TestDetach:
+    def test_detach_unsubscribes_live_engine(self):
+        database = ProvenanceDatabase("t")
+        database.insert_many(build_records())
+        engine = QueryEngine.live([database])
+        assert database.has_subscribers
+        assert engine.detach() == 1
+        assert not database.has_subscribers
+        assert engine.detach() == 0
+
+    def test_database_unsubscribe_unknown_listener(self):
+        database = ProvenanceDatabase("t")
+        assert database.unsubscribe(lambda record: None) is False
+        assert database.unsubscribe_batch(lambda batch: None) is False
+
+
+class TestCLIExplain:
+    @pytest.fixture
+    def db_path(self, tmp_path):
+        database = ProvenanceDatabase("cli")
+        database.insert_many(build_records())
+        path = tmp_path / "prov.db"
+        database.save(str(path))
+        return str(path)
+
+    def test_text_output(self, db_path, capsys):
+        assert main(["query", "--db", db_path, "--explain",
+                     'select F from Provenance.file as F '
+                     'where F.md5 = "aaa"']) == 0
+        out = capsys.readouterr().out
+        assert "equality_index" in out
+        assert "est=1" in out
+
+    def test_json_output(self, db_path, capsys):
+        assert main(["query", "--db", db_path, "--explain", "--json",
+                     "select F from Provenance.file as F"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["bindings"][0]["access"] == "member_scan"
+
+    def test_plain_query_still_prints_rows(self, db_path, capsys):
+        assert main(["query", "--db", db_path,
+                     "select F.name from Provenance.file as F"]) == 0
+        assert "/a" in capsys.readouterr().out
